@@ -1,0 +1,105 @@
+// Command figures regenerates the paper's evaluation artifacts — Figures
+// 1, 3a, 3b, 4, 5 and Table I — writing CSVs to -out and rendering ASCII
+// previews to the terminal.
+//
+// Usage:
+//
+//	figures                 # everything at quick scale into results/
+//	figures -only 3a,5      # a subset
+//	figures -scale full     # paper-scale sample budgets (hours)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		scale = flag.String("scale", "quick", "experiment scale: test, quick or full")
+		out   = flag.String("out", "results", "output directory for CSVs")
+		only  = flag.String("only", "", "comma-separated subset of 1,3a,3b,4,5,t1 (default all)")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only == "" {
+		for _, k := range []string{"1", "3a", "3b", "4", "5", "t1"} {
+			want[k] = true
+		}
+	} else {
+		for _, k := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(k)] = true
+		}
+	}
+
+	opts := experiments.Options{
+		Scale:  experiments.Scale(*scale),
+		OutDir: *out,
+		Seed:   *seed,
+		Logf: func(format string, args ...any) {
+			fmt.Printf("  "+format+"\n", args...)
+		},
+	}
+
+	start := time.Now()
+	var fig3a *experiments.DSEResult
+	var fig4 *experiments.DSEResult
+
+	if want["1"] {
+		step("Figure 1 — KFusion response surface")
+		res, err := experiments.Fig1(opts)
+		exitOn(err)
+		res.Render(os.Stdout)
+	}
+	if want["3a"] || want["5"] {
+		step("Figure 3a — KFusion DSE on ODROID-XU3")
+		var err error
+		fig3a, err = experiments.Fig3(opts, "ODROID-XU3")
+		exitOn(err)
+		fig3a.Render(os.Stdout)
+	}
+	if want["3b"] {
+		step("Figure 3b — KFusion DSE on ASUS T200TA")
+		res, err := experiments.Fig3(opts, "ASUS-T200TA")
+		exitOn(err)
+		res.Render(os.Stdout)
+	}
+	if want["4"] || want["t1"] {
+		step("Figure 4 — ElasticFusion DSE on GTX 780 Ti")
+		var err error
+		fig4, err = experiments.Fig4(opts)
+		exitOn(err)
+		fig4.Render(os.Stdout)
+	}
+	if want["5"] {
+		step("Figure 5 — crowd-sourcing across 83 market devices")
+		res, err := experiments.Fig5(opts, fig3a)
+		exitOn(err)
+		res.Render(os.Stdout)
+	}
+	if want["t1"] {
+		step("Table I — ElasticFusion Pareto points")
+		res, err := experiments.Table1(opts, fig4)
+		exitOn(err)
+		res.Render(os.Stdout)
+	}
+	fmt.Printf("\nall done in %s; CSVs in %s/\n", time.Since(start).Round(time.Second), *out)
+}
+
+func step(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figures: %v\n", err)
+		os.Exit(1)
+	}
+}

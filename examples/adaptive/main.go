@@ -1,0 +1,79 @@
+// Adaptive configuration selection: the paper's §I motivation for
+// computing a whole Pareto front rather than a single good point — "the
+// front can be stored on the machine to support dynamic adaptation,
+// automatically selecting the best combination of algorithmic parameters
+// for a given scene and accuracy-performance objective."
+//
+// This example explores once, persists the front to disk (the artifact a
+// deployed system would ship), reloads it, and answers three different
+// runtime scenarios from it without re-measuring anything.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/pareto"
+	"repro/internal/slambench"
+)
+
+func main() {
+	bench := slambench.NewKFusionBench(slambench.CachedDataset("test"))
+	dev := device.ODROIDXU3()
+
+	fmt.Println("building the Pareto front once (offline tuning phase)…")
+	res, err := core.Run(bench.Space(),
+		slambench.Evaluator(bench, dev, slambench.RuntimeAccuracy),
+		core.Options{
+			Objectives:    2,
+			RandomSamples: 40,
+			MaxIterations: 2,
+			MaxBatch:      20,
+			PoolCap:       20000,
+			Seed:          1,
+		})
+	if err != nil {
+		panic(err)
+	}
+
+	// Persist the tuned front — this JSON is what ships on the device.
+	path := filepath.Join(os.TempDir(), "kfusion-odroid-front.json")
+	stored := core.NewStoredFront(bench.Space(), res, bench.Name(), dev.Name,
+		[]string{"runtime_s_per_frame", "max_ate_m"})
+	if err := core.SaveFront(path, stored); err != nil {
+		panic(err)
+	}
+	fmt.Printf("stored front: %d configurations -> %s\n\n", len(stored.Points), path)
+
+	// --- Deployed phase: load the artifact and adapt at runtime. ---
+	loaded, err := core.LoadFront(path, bench.Space())
+	if err != nil {
+		panic(err)
+	}
+	front := loaded.Front()
+
+	show := func(scenario string, p pareto.Point, ok bool) {
+		if !ok {
+			fmt.Printf("%-46s -> no configuration satisfies the constraint\n", scenario)
+			return
+		}
+		cfg, _ := loaded.ConfigByIndex(p.ID)
+		fmt.Printf("%-46s -> %.1f ms/frame, ATE %.4f m\n", scenario, p.Objs[0]*1e3, p.Objs[1])
+		fmt.Printf("%46s    %s\n", "", bench.Space().FormatConfig(cfg))
+	}
+
+	// Scenario 1: AR headset — hard accuracy requirement, fastest wins.
+	p, ok := pareto.BestUnderConstraint(front, 0, 1, slambench.AccuracyLimit)
+	show("AR session (fastest with ATE < 5 cm)", p, ok)
+
+	// Scenario 2: robot survey run — best map accuracy, runtime secondary.
+	p, ok = pareto.BestBy(front, 1)
+	show("survey scan (most accurate available)", p, ok)
+
+	// Scenario 3: battery saver — must hold 30 FPS, accuracy best-effort.
+	p, ok = pareto.BestUnderConstraint(front, 1, 0, 1.0/30)
+	show("battery saver (most accurate at ≥ 30 FPS)", p, ok)
+}

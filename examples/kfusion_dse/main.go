@@ -1,0 +1,74 @@
+// KFusion design-space exploration (the paper's §IV-C experiment, scaled
+// down to run in about a minute): explore the 1.8M-point KFusion space on
+// the ODROID-XU3 model, compare random sampling against active learning,
+// and report the speedup over the expert default configuration.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/pareto"
+	"repro/internal/plot"
+	"repro/internal/slambench"
+)
+
+func main() {
+	// The "test" dataset keeps this example fast; switch to "full" for
+	// the figure-quality workload.
+	bench := slambench.NewKFusionBench(slambench.CachedDataset("test"))
+	dev := device.ODROIDXU3()
+	fmt.Printf("exploring %s (%d configurations) on %s\n",
+		bench.Name(), bench.Space().Size(), dev)
+
+	res, err := core.Run(bench.Space(),
+		slambench.Evaluator(bench, dev, slambench.RuntimeAccuracy),
+		core.Options{
+			Objectives:    2,
+			RandomSamples: 40,
+			MaxIterations: 2,
+			MaxBatch:      25,
+			PoolCap:       20000,
+			Seed:          1,
+			Logf: func(f string, a ...any) {
+				fmt.Printf("  "+f+"\n", a...)
+			},
+		})
+	if err != nil {
+		panic(err)
+	}
+
+	defM, err := bench.Evaluate(bench.DefaultConfig(), dev)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\ndefault: %.1f ms/frame (%.1f FPS), max ATE %.4f m\n",
+		defM.SecPerFrame*1e3, defM.FPS, defM.MaxATE)
+
+	var rx, ry, ax, ay []float64
+	for _, s := range res.Samples {
+		if s.Objs[1] > 0.1 {
+			continue // clip catastrophic configs out of the plot window
+		}
+		if s.ActiveLearning {
+			ax, ay = append(ax, s.Objs[0]), append(ay, s.Objs[1])
+		} else {
+			rx, ry = append(rx, s.Objs[0]), append(ry, s.Objs[1])
+		}
+	}
+	plot.Scatter(os.Stdout, "KFusion on ODROID-XU3", []plot.Series{
+		{Name: "random sampling", Marker: 'r', X: rx, Y: ry},
+		{Name: "active learning", Marker: 'a', X: ax, Y: ay},
+		{Name: "default", Marker: 'D', X: []float64{defM.SecPerFrame}, Y: []float64{defM.MaxATE}},
+	}, 64, 16, "runtime (s/frame)", "max ATE (m)")
+
+	if best, ok := pareto.BestUnderConstraint(res.Front, 0, 1, slambench.AccuracyLimit); ok {
+		fmt.Printf("\nbest valid config: %.1f ms/frame (%.1f FPS), ATE %.4f m — %.2fx over default\n",
+			best.Objs[0]*1e3, 1/best.Objs[0], best.Objs[1], defM.SecPerFrame/best.Objs[0])
+		if s, found := res.ByIndex(best.ID); found {
+			fmt.Printf("  %s\n", bench.Space().FormatConfig(s.Config))
+		}
+	}
+}

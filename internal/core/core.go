@@ -1,0 +1,384 @@
+// Package core implements HyperMapper, the multi-objective random-forest
+// active-learning design-space-exploration framework of the paper
+// (Algorithm 1):
+//
+//	X_out ← rs distinct random configurations;  evaluate them
+//	repeat
+//	    fit one random forest per objective on (X_out, Y)
+//	    predict all objectives over the configuration pool X
+//	    P ← predicted Pareto front
+//	    evaluate P − X_out on the real system;  add to X_out
+//	until P − X_out = ∅ (or iteration/batch budget exhausted)
+//
+// The package is objective-count agnostic: the paper explores
+// (runtime, accuracy) and its predecessor adds power as a third objective;
+// both work unchanged.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/forest"
+	"repro/internal/par"
+	"repro/internal/param"
+	"repro/internal/pareto"
+)
+
+// Evaluator runs one configuration "on hardware" and returns its objective
+// vector (all objectives minimized). Implementations must be safe for
+// concurrent use: the optimizer evaluates batches in parallel.
+type Evaluator interface {
+	Evaluate(cfg param.Config) []float64
+}
+
+// EvaluatorFunc adapts a function to the Evaluator interface.
+type EvaluatorFunc func(cfg param.Config) []float64
+
+// Evaluate implements Evaluator.
+func (f EvaluatorFunc) Evaluate(cfg param.Config) []float64 { return f(cfg) }
+
+// Options configures a HyperMapper run. The zero value of optional fields
+// selects the documented defaults; Objectives is required.
+type Options struct {
+	// Objectives is the number of objective values the evaluator returns.
+	Objectives int
+	// RandomSamples is rs of Algorithm 1: the size of the uniform random
+	// bootstrap phase (default 200).
+	RandomSamples int
+	// MaxIterations caps the number of active-learning iterations
+	// (default 6, the count reported for the ODROID experiment).
+	MaxIterations int
+	// MaxBatch caps the number of new evaluations per iteration; the
+	// paper observes 100–300 per iteration (default 300). Excess
+	// predicted-front points are thinned evenly along the front.
+	MaxBatch int
+	// PoolCap bounds the prediction pool X. Spaces up to PoolCap are
+	// enumerated exhaustively (the paper predicts over the entire
+	// space); larger spaces are re-subsampled to PoolCap points each
+	// iteration (default 200000).
+	PoolCap int
+	// Forest configures the per-objective regressors.
+	Forest forest.Options
+	// Seed drives every random choice (sampling, pools, forests).
+	Seed int64
+	// Workers bounds concurrent evaluator calls; 0 = GOMAXPROCS.
+	Workers int
+	// Logf, when non-nil, receives one progress line per phase.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.RandomSamples <= 0 {
+		o.RandomSamples = 200
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 6
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = 300
+	}
+	if o.PoolCap <= 0 {
+		o.PoolCap = 200_000
+	}
+	if o.Workers <= 0 {
+		o.Workers = par.MaxWorkers()
+	}
+	return o
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Sample is one evaluated configuration.
+type Sample struct {
+	Index  int64        // design-space index
+	Config param.Config // decoded parameter values
+	Objs   []float64    // measured objectives
+	// ActiveLearning is false for bootstrap (random) samples and true for
+	// samples chosen by the predictive model.
+	ActiveLearning bool
+	// Iteration is 0 for the random phase, i ≥ 1 for the i-th AL round.
+	Iteration int
+}
+
+// IterationStats summarizes one active-learning round.
+type IterationStats struct {
+	Iteration          int
+	PredictedFrontSize int       // |P|
+	NewSamples         int       // |P − X_out| actually evaluated
+	TotalSamples       int       // |X_out| after the round
+	FrontSize          int       // measured front size after the round
+	OOBError           []float64 // per-objective forest OOB MSE
+}
+
+// Result is the outcome of a HyperMapper run.
+type Result struct {
+	// Samples holds every evaluated configuration in evaluation order:
+	// first the random phase, then each AL round.
+	Samples []Sample
+	// RandomFront is the measured Pareto front using only the random
+	// bootstrap samples (the red curve of Figs. 3–4).
+	RandomFront []pareto.Point
+	// Front is the final measured Pareto front over all samples (the
+	// black curve of Figs. 3–4).
+	Front []pareto.Point
+	// Iterations records per-round statistics.
+	Iterations []IterationStats
+	// Forests holds the final per-objective models (e.g. for feature
+	// importance inspection).
+	Forests []*forest.Forest
+	// Converged reports whether the loop stopped because P − X_out = ∅
+	// rather than by exhausting MaxIterations.
+	Converged bool
+}
+
+// ByIndex returns the sample with the given design-space index, if present.
+func (r *Result) ByIndex(idx int64) (Sample, bool) {
+	for _, s := range r.Samples {
+		if s.Index == idx {
+			return s, true
+		}
+	}
+	return Sample{}, false
+}
+
+// ActiveSamples returns only the samples chosen by active learning.
+func (r *Result) ActiveSamples() []Sample {
+	var out []Sample
+	for _, s := range r.Samples {
+		if s.ActiveLearning {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Run executes Algorithm 1 on the given space and evaluator.
+func Run(space *param.Space, eval Evaluator, opts Options) (*Result, error) {
+	if space == nil || space.Size() == 0 {
+		return nil, errors.New("core: empty design space")
+	}
+	if eval == nil {
+		return nil, errors.New("core: nil evaluator")
+	}
+	if opts.Objectives < 1 {
+		return nil, errors.New("core: Objectives must be ≥ 1")
+	}
+	o := opts.withDefaults()
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	res := &Result{}
+	evaluated := make(map[int64]int) // space index → position in res.Samples
+
+	// ---- Random sampling bootstrap (X_out ← rs samples) ----
+	n := o.RandomSamples
+	if int64(n) > space.Size() {
+		n = int(space.Size())
+	}
+	bootstrap := space.SampleIndices(rng, n)
+	o.logf("random sampling: evaluating %d configurations", len(bootstrap))
+	batch := evaluateBatch(space, eval, bootstrap, o.Workers)
+	for _, s := range batch {
+		s.Iteration = 0
+		res.Samples = append(res.Samples, s)
+		evaluated[s.Index] = len(res.Samples) - 1
+	}
+	res.RandomFront = measuredFront(res.Samples)
+	o.logf("random sampling: front size %d", len(res.RandomFront))
+
+	// ---- Active learning loop ----
+	dim := space.Dim()
+	for iter := 1; iter <= o.MaxIterations; iter++ {
+		forests, oob, err := fitForests(space, res.Samples, o, iter)
+		if err != nil {
+			return nil, err
+		}
+		res.Forests = forests
+
+		poolIdx := predictionPool(space, rng, o.PoolCap, evaluated)
+		feats := make([][]float64, len(poolIdx))
+		flat := make([]float64, len(poolIdx)*dim)
+		cfg := make(param.Config, dim)
+		for i, idx := range poolIdx {
+			row := flat[i*dim : (i+1)*dim]
+			space.AtIndexInto(idx, cfg)
+			space.Encode(cfg, row)
+			feats[i] = row
+		}
+
+		// Predict every objective over the pool.
+		preds := make([][]float64, o.Objectives)
+		for k, f := range forests {
+			preds[k] = f.PredictBatch(feats)
+		}
+		points := make([]pareto.Point, len(poolIdx))
+		for i, idx := range poolIdx {
+			objs := make([]float64, o.Objectives)
+			for k := range preds {
+				objs[k] = preds[k][i]
+			}
+			points[i] = pareto.Point{ID: idx, Objs: objs}
+		}
+		predicted := pareto.Front(points)
+
+		// P − X_out: predicted-front configurations not yet measured.
+		var todo []int64
+		for _, p := range predicted {
+			if _, done := evaluated[p.ID]; !done {
+				todo = append(todo, p.ID)
+			}
+		}
+		if len(todo) > o.MaxBatch {
+			todo = thin(todo, o.MaxBatch)
+		}
+		o.logf("iteration %d: predicted front %d, new configurations %d",
+			iter, len(predicted), len(todo))
+
+		if len(todo) == 0 {
+			res.Converged = true
+			res.Iterations = append(res.Iterations, IterationStats{
+				Iteration:          iter,
+				PredictedFrontSize: len(predicted),
+				TotalSamples:       len(res.Samples),
+				FrontSize:          len(measuredFront(res.Samples)),
+				OOBError:           oob,
+			})
+			break
+		}
+
+		newSamples := evaluateBatch(space, eval, todo, o.Workers)
+		for _, s := range newSamples {
+			s.ActiveLearning = true
+			s.Iteration = iter
+			res.Samples = append(res.Samples, s)
+			evaluated[s.Index] = len(res.Samples) - 1
+		}
+		front := measuredFront(res.Samples)
+		res.Iterations = append(res.Iterations, IterationStats{
+			Iteration:          iter,
+			PredictedFrontSize: len(predicted),
+			NewSamples:         len(newSamples),
+			TotalSamples:       len(res.Samples),
+			FrontSize:          len(front),
+			OOBError:           oob,
+		})
+	}
+
+	res.Front = measuredFront(res.Samples)
+	o.logf("done: %d samples, final front size %d", len(res.Samples), len(res.Front))
+	return res, nil
+}
+
+// evaluateBatch measures the given configuration indices in parallel,
+// returning samples in the order of idxs.
+func evaluateBatch(space *param.Space, eval Evaluator, idxs []int64, workers int) []Sample {
+	out := make([]Sample, len(idxs))
+	par.ForWorkers(len(idxs), workers, func(i int) {
+		cfg := space.AtIndex(idxs[i])
+		objs := eval.Evaluate(cfg)
+		out[i] = Sample{
+			Index:  idxs[i],
+			Config: cfg,
+			Objs:   append([]float64(nil), objs...),
+		}
+	})
+	return out
+}
+
+// fitForests trains one regressor per objective on all samples so far.
+func fitForests(space *param.Space, samples []Sample, o Options, iter int) ([]*forest.Forest, []float64, error) {
+	dim := space.Dim()
+	x := make([][]float64, len(samples))
+	for i, s := range samples {
+		row := make([]float64, dim)
+		space.Encode(s.Config, row)
+		x[i] = row
+	}
+	forests := make([]*forest.Forest, o.Objectives)
+	oob := make([]float64, o.Objectives)
+	for k := 0; k < o.Objectives; k++ {
+		y := make([]float64, len(samples))
+		for i, s := range samples {
+			if len(s.Objs) != o.Objectives {
+				return nil, nil, fmt.Errorf("core: evaluator returned %d objectives, want %d", len(s.Objs), o.Objectives)
+			}
+			y[i] = s.Objs[k]
+		}
+		fo := o.Forest
+		fo.Seed = o.Seed + int64(k)*7_919 + int64(iter)*104_729
+		f, err := forest.Fit(x, y, fo)
+		if err != nil {
+			return nil, nil, err
+		}
+		forests[k] = f
+		oob[k] = f.OOBError()
+	}
+	return forests, oob, nil
+}
+
+// predictionPool returns the pool X of Algorithm 1: the whole space when it
+// fits under cap, otherwise cap fresh random indices plus every evaluated
+// index (so the predicted front can stabilize onto measured points and the
+// loop can converge).
+func predictionPool(space *param.Space, rng *rand.Rand, poolCap int, evaluated map[int64]int) []int64 {
+	if space.Size() <= int64(poolCap) {
+		pool := make([]int64, space.Size())
+		for i := range pool {
+			pool[i] = int64(i)
+		}
+		return pool
+	}
+	pool := space.SampleIndices(rng, poolCap)
+	seen := make(map[int64]struct{}, len(pool))
+	for _, idx := range pool {
+		seen[idx] = struct{}{}
+	}
+	for idx := range evaluated {
+		if _, dup := seen[idx]; !dup {
+			pool = append(pool, idx)
+		}
+	}
+	return pool
+}
+
+// measuredFront computes the Pareto front of the measured samples.
+func measuredFront(samples []Sample) []pareto.Point {
+	points := make([]pareto.Point, len(samples))
+	for i, s := range samples {
+		points[i] = pareto.Point{ID: s.Index, Objs: s.Objs}
+	}
+	return pareto.Front(points)
+}
+
+// thin reduces idxs to at most n entries spread evenly (idxs keeps the
+// predicted-front order, which front construction sorts by the first
+// objective, so even striding preserves coverage along the front).
+func thin(idxs []int64, n int) []int64 {
+	if len(idxs) <= n {
+		return idxs
+	}
+	out := make([]int64, 0, n)
+	step := float64(len(idxs)) / float64(n)
+	for i := 0; i < n; i++ {
+		out = append(out, idxs[int(float64(i)*step)])
+	}
+	return out
+}
+
+// FrontSamples maps front points back to their full samples.
+func FrontSamples(res *Result) []Sample {
+	var out []Sample
+	for _, p := range res.Front {
+		if s, ok := res.ByIndex(p.ID); ok {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Objs[0] < out[j].Objs[0] })
+	return out
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/param"
+	"repro/internal/pareto"
+)
+
+// TestFrontMonotoneAcrossIterations: the measured front's hypervolume must
+// never shrink as iterations add samples (fronts are monotone under set
+// growth).
+func TestFrontMonotoneAcrossIterations(t *testing.T) {
+	space := param.MustSpace(
+		param.Grid("a", 0, 5, 50),
+		param.Grid("b", 0, 5, 50),
+	)
+	eval := EvaluatorFunc(func(cfg param.Config) []float64 {
+		a, b := cfg[0], cfg[1]
+		return []float64{a + 0.3*math.Sin(4*b) + 1, b + 0.3*math.Cos(3*a) + 1}
+	})
+	res, err := Run(space, eval, Options{
+		Objectives:    2,
+		RandomSamples: 30,
+		MaxIterations: 4,
+		MaxBatch:      20,
+		Seed:          2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := [2]float64{8, 8}
+	prev := pareto.Hypervolume2D(res.RandomFront, ref)
+	// Rebuild the front as of each iteration boundary and check monotone
+	// hypervolume growth.
+	count := 0
+	for _, s := range res.Samples {
+		if !s.ActiveLearning {
+			count++
+		}
+	}
+	for _, it := range res.Iterations {
+		upto := it.TotalSamples
+		pts := make([]pareto.Point, 0, upto)
+		for _, s := range res.Samples[:upto] {
+			pts = append(pts, pareto.Point{ID: s.Index, Objs: s.Objs})
+		}
+		hv := pareto.Hypervolume2D(pareto.Front(pts), ref)
+		if hv+1e-12 < prev {
+			t.Fatalf("hypervolume shrank at iteration %d: %v -> %v", it.Iteration, prev, hv)
+		}
+		prev = hv
+	}
+	_ = count
+}
+
+// TestPredictedParetoTargetsFront: the configurations chosen by active
+// learning should on average be closer to the final front than random ones
+// were — the mechanism of Algorithm 1.
+func TestPredictedParetoTargetsFront(t *testing.T) {
+	space := param.MustSpace(
+		param.Grid("a", 0, 5, 60),
+		param.Grid("b", 0, 5, 60),
+	)
+	eval := EvaluatorFunc(func(cfg param.Config) []float64 {
+		a, b := cfg[0], cfg[1]
+		return []float64{a + 1, b + 1}
+	})
+	res, err := Run(space, eval, Options{
+		Objectives:    2,
+		RandomSamples: 50,
+		MaxIterations: 3,
+		MaxBatch:      40,
+		Seed:          3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ActiveSamples()) == 0 {
+		t.Skip("no AL samples drawn on this seed")
+	}
+	// Distance of a point to the ideal corner (1,1) in this separable
+	// problem is a good front-proximity proxy.
+	dist := func(o []float64) float64 {
+		return math.Hypot(o[0]-1, o[1]-1)
+	}
+	sumR, nR, sumA, nA := 0.0, 0, 0.0, 0
+	for _, s := range res.Samples {
+		if s.ActiveLearning {
+			sumA += dist(s.Objs)
+			nA++
+		} else {
+			sumR += dist(s.Objs)
+			nR++
+		}
+	}
+	if sumA/float64(nA) >= sumR/float64(nR) {
+		t.Fatalf("AL samples (%d, mean dist %.3f) not closer to the ideal than random (%d, %.3f)",
+			nA, sumA/float64(nA), nR, sumR/float64(nR))
+	}
+}
+
+// TestConvergedFlagFalseWhenBudgetExhausted: with a tiny iteration budget
+// on a big space the loop must report non-convergence.
+func TestConvergedFlagFalseWhenBudgetExhausted(t *testing.T) {
+	space := param.MustSpace(
+		param.Grid("a", 0, 5, 100),
+		param.Grid("b", 0, 5, 100),
+		param.Grid("c", 0, 5, 10),
+	)
+	eval := EvaluatorFunc(func(cfg param.Config) []float64 {
+		return []float64{cfg[0] + cfg[2]*0.01, cfg[1]}
+	})
+	res, err := Run(space, eval, Options{
+		Objectives:    2,
+		RandomSamples: 20,
+		MaxIterations: 1,
+		MaxBatch:      5,
+		Seed:          4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged {
+		t.Fatal("cannot have converged after one capped iteration on a 100k space")
+	}
+}

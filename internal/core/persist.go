@@ -1,0 +1,134 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/param"
+	"repro/internal/pareto"
+)
+
+// StoredFront is the on-device artifact of an exploration (paper §I: "a
+// two dimensional performance Pareto-optimal configurations curve that can
+// be then stored on the machine to support dynamic adaptation"). It holds
+// the front's configurations with their measured objectives plus enough
+// metadata to validate against the design space at load time.
+type StoredFront struct {
+	// Benchmark and Platform identify where the front was measured.
+	Benchmark string `json:"benchmark,omitempty"`
+	Platform  string `json:"platform,omitempty"`
+	// Objectives names the objective columns, in order.
+	Objectives []string `json:"objectives"`
+	// Parameters names the configuration columns, in order (must match
+	// the design space used at load time).
+	Parameters []string `json:"parameters"`
+	// Points holds the front, sorted by the first objective.
+	Points []StoredPoint `json:"points"`
+}
+
+// StoredPoint is one front configuration.
+type StoredPoint struct {
+	Index  int64     `json:"index"`
+	Config []float64 `json:"config"`
+	Objs   []float64 `json:"objectives"`
+}
+
+// NewStoredFront packages a result's front for persistence.
+func NewStoredFront(space *param.Space, res *Result, benchmark, platform string, objectives []string) *StoredFront {
+	sf := &StoredFront{
+		Benchmark:  benchmark,
+		Platform:   platform,
+		Objectives: append([]string(nil), objectives...),
+		Parameters: space.Names(),
+	}
+	for _, s := range FrontSamples(res) {
+		sf.Points = append(sf.Points, StoredPoint{
+			Index:  s.Index,
+			Config: append([]float64(nil), s.Config...),
+			Objs:   append([]float64(nil), s.Objs...),
+		})
+	}
+	return sf
+}
+
+// Front returns the stored points as pareto.Points for the selector
+// helpers (BestUnderConstraint etc.).
+func (sf *StoredFront) Front() []pareto.Point {
+	out := make([]pareto.Point, len(sf.Points))
+	for i, p := range sf.Points {
+		out[i] = pareto.Point{ID: p.Index, Objs: p.Objs}
+	}
+	return out
+}
+
+// ConfigByIndex returns the stored configuration with the given index.
+func (sf *StoredFront) ConfigByIndex(idx int64) (param.Config, bool) {
+	for _, p := range sf.Points {
+		if p.Index == idx {
+			return param.Config(p.Config), true
+		}
+	}
+	return nil, false
+}
+
+// Write serializes the front as indented JSON.
+func (sf *StoredFront) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sf)
+}
+
+// SaveFront writes the front to a file.
+func SaveFront(path string, sf *StoredFront) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return sf.Write(f)
+}
+
+// ReadFront parses a stored front and validates it against the design
+// space: parameter names must match and every configuration must decode.
+func ReadFront(r io.Reader, space *param.Space) (*StoredFront, error) {
+	var sf StoredFront
+	if err := json.NewDecoder(r).Decode(&sf); err != nil {
+		return nil, fmt.Errorf("core: parsing stored front: %w", err)
+	}
+	if space != nil {
+		names := space.Names()
+		if len(names) != len(sf.Parameters) {
+			return nil, fmt.Errorf("core: stored front has %d parameters, space has %d",
+				len(sf.Parameters), len(names))
+		}
+		for i, n := range names {
+			if sf.Parameters[i] != n {
+				return nil, fmt.Errorf("core: stored parameter %q at position %d, space has %q",
+					sf.Parameters[i], i, n)
+			}
+		}
+		for _, p := range sf.Points {
+			if len(p.Config) != len(names) {
+				return nil, fmt.Errorf("core: stored point %d has %d values, want %d",
+					p.Index, len(p.Config), len(names))
+			}
+			if len(p.Objs) != len(sf.Objectives) {
+				return nil, fmt.Errorf("core: stored point %d has %d objectives, want %d",
+					p.Index, len(p.Objs), len(sf.Objectives))
+			}
+		}
+	}
+	return &sf, nil
+}
+
+// LoadFront reads a stored front from a file.
+func LoadFront(path string, space *param.Space) (*StoredFront, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFront(f, space)
+}

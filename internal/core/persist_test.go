@@ -1,0 +1,135 @@
+package core
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/param"
+	"repro/internal/pareto"
+)
+
+func storedFixture(t *testing.T) (*param.Space, *StoredFront) {
+	t.Helper()
+	space := benchSpace(t)
+	res, err := Run(space, benchEval(space), Options{
+		Objectives: 2, RandomSamples: 40, MaxIterations: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sf := NewStoredFront(space, res, "bench", "test-device", []string{"runtime", "accuracy"})
+	if len(sf.Points) == 0 {
+		t.Fatal("empty stored front")
+	}
+	return space, sf
+}
+
+func TestStoredFrontRoundtrip(t *testing.T) {
+	space, sf := storedFixture(t)
+	var buf bytes.Buffer
+	if err := sf.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFront(&buf, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Benchmark != "bench" || back.Platform != "test-device" {
+		t.Fatalf("metadata lost: %+v", back)
+	}
+	if len(back.Points) != len(sf.Points) {
+		t.Fatalf("points: %d vs %d", len(back.Points), len(sf.Points))
+	}
+	for i := range back.Points {
+		if back.Points[i].Index != sf.Points[i].Index {
+			t.Fatal("point order changed")
+		}
+		for j := range back.Points[i].Config {
+			if back.Points[i].Config[j] != sf.Points[i].Config[j] {
+				t.Fatal("config values changed")
+			}
+		}
+	}
+}
+
+func TestStoredFrontFileRoundtrip(t *testing.T) {
+	space, sf := storedFixture(t)
+	path := filepath.Join(t.TempDir(), "front.json")
+	if err := SaveFront(path, sf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadFront(path, space)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != len(sf.Points) {
+		t.Fatal("file roundtrip lost points")
+	}
+	if _, err := LoadFront(filepath.Join(t.TempDir(), "missing.json"), space); err == nil {
+		t.Fatal("missing file not reported")
+	}
+}
+
+func TestReadFrontValidation(t *testing.T) {
+	space, sf := storedFixture(t)
+
+	// Wrong parameter names.
+	other := param.MustSpace(param.Bool("x"), param.Bool("y"), param.Bool("z"))
+	var buf bytes.Buffer
+	if err := sf.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFront(&buf, other); err == nil {
+		t.Fatal("mismatched space accepted")
+	}
+
+	// Corrupt JSON.
+	if _, err := ReadFront(strings.NewReader("{nope"), space); err == nil {
+		t.Fatal("corrupt JSON accepted")
+	}
+
+	// Truncated config.
+	buf.Reset()
+	mangled := *sf
+	mangled.Points = append([]StoredPoint(nil), sf.Points...)
+	mangled.Points[0].Config = mangled.Points[0].Config[:1]
+	if err := mangled.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFront(&buf, space); err == nil {
+		t.Fatal("truncated config accepted")
+	}
+
+	// nil space skips validation.
+	buf.Reset()
+	if err := sf.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFront(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoredFrontSelectors(t *testing.T) {
+	_, sf := storedFixture(t)
+	front := sf.Front()
+	best, ok := pareto.BestBy(front, 0)
+	if !ok {
+		t.Fatal("no best point")
+	}
+	cfg, ok := sf.ConfigByIndex(best.ID)
+	if !ok || len(cfg) == 0 {
+		t.Fatal("ConfigByIndex failed for a front point")
+	}
+	if _, ok := sf.ConfigByIndex(-42); ok {
+		t.Fatal("bogus index found")
+	}
+	// Points are sorted by first objective (FrontSamples contract).
+	for i := 1; i < len(sf.Points); i++ {
+		if sf.Points[i].Objs[0] < sf.Points[i-1].Objs[0] {
+			t.Fatal("stored points not sorted by runtime")
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package elasticfusion
+
+// This file exports a small alignment harness for debugging and tests: it
+// aligns frame b of a dataset against the map built from frame a, starting
+// from frame a's ground-truth pose, and reports pose errors before/after.
+
+import (
+	"repro/internal/geom"
+	"repro/internal/sensor"
+)
+
+// DebugAlignResult reports a two-frame alignment experiment.
+type DebugAlignResult struct {
+	StartErr float64 // |pose_a - gt_b| translation error before alignment
+	EndErr   float64 // after alignment
+	Err      error
+}
+
+// DebugAlign builds a single-frame map from dataset frame a (at its ground
+// truth pose), then aligns frame b starting from a's pose with the given
+// ICP/RGB weight. Used by tests to check both tracking terms in isolation.
+func DebugAlign(ds *sensor.Dataset, a, b int, icpWeight float64) DebugAlignResult {
+	intr := ds.Intrinsics
+	poseA := ds.GroundTruth[a]
+	gtB := ds.GroundTruth[b]
+
+	curA, _ := buildFrameData(ds.Frames[a].Depth, ds.Frames[a].Intensity, intr, pyramidLevels)
+	curB, _ := buildFrameData(ds.Frames[b].Depth, ds.Frames[b].Intensity, intr, pyramidLevels)
+
+	smap := &SurfelMap{}
+	empty := newRenderMaps(intr.W, intr.H)
+	smap.Fuse(curA.vertex[0], curA.normal[0], curA.intensity[0], intr, poseA, empty, 0, 1, 0)
+
+	model, _ := smap.Render(intr, poseA, nil)
+	aligned, _, _, err := jointTrack(
+		curB, model, model.intensity, model.vertex, poseA, intr,
+		poseA, icpWeight, []int{0, 1, 2}, []int{10, 5, 4},
+	)
+	return DebugAlignResult{
+		StartErr: geom.Distance(poseA, gtB),
+		EndErr:   geom.Distance(aligned, gtB),
+		Err:      err,
+	}
+}

@@ -1,0 +1,73 @@
+package elasticfusion
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/imgproc"
+	"repro/internal/sensor"
+)
+
+// TestRunAllInvalidDepth: frames with no depth must not crash; tracking
+// never succeeds and no map is built.
+func TestRunAllInvalidDepth(t *testing.T) {
+	ds := *testDataset
+	ds.Frames = nil
+	for range testDataset.Frames {
+		ds.Frames = append(ds.Frames, sensor.Frame{
+			Depth:     imgproc.NewMap(ds.Intrinsics.W, ds.Intrinsics.H),
+			Intensity: imgproc.NewMap(ds.Intrinsics.W, ds.Intrinsics.H),
+		})
+	}
+	res, err := Run(&ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.TrackedFrames != 0 {
+		t.Fatalf("tracked %d frames of nothing", res.Counters.TrackedFrames)
+	}
+	if res.Counters.SurfelsFinal != 0 {
+		t.Fatalf("map built from invalid depth: %d surfels", res.Counters.SurfelsFinal)
+	}
+}
+
+// TestRunTinyDepthCutoff: a cutoff below the nearest scene surface leaves
+// no usable depth — tracking must degrade, not crash.
+func TestRunTinyDepthCutoff(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DepthCutoff = 0.05
+	res, err := Run(testDataset, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.SurfelsFinal > 100 {
+		t.Fatalf("cutoff 5cm built %d surfels", res.Counters.SurfelsFinal)
+	}
+}
+
+// TestSensorBlackoutRecovery: a few completely blank frames in the middle
+// of the sequence (sensor dropout) must register as tracking failures, and
+// the tracker must re-lock once data returns.
+func TestSensorBlackoutRecovery(t *testing.T) {
+	ds := *testDataset
+	ds.Frames = append([]sensor.Frame(nil), testDataset.Frames...)
+	for i := 14; i < 17; i++ {
+		ds.Frames[i] = sensor.Frame{
+			Depth:     imgproc.NewMap(ds.Intrinsics.W, ds.Intrinsics.H),
+			Intensity: imgproc.NewMap(ds.Intrinsics.W, ds.Intrinsics.H),
+		}
+	}
+	res, err := Run(&ds, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.TrackFailures < 3 {
+		t.Fatalf("blackout frames not detected: %d failures", res.Counters.TrackFailures)
+	}
+	// After the blackout the camera has moved only ~4 frames of motion;
+	// the tracker must recover and finish with a sane trajectory.
+	last := len(res.Trajectory) - 1
+	if d := geom.Distance(res.Trajectory[last], ds.GroundTruth[last]); d > 0.25 {
+		t.Fatalf("no recovery after blackout: final error %.3f m", d)
+	}
+}

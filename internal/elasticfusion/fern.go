@@ -1,0 +1,110 @@
+package elasticfusion
+
+import (
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/imgproc"
+)
+
+// fernDB is the randomized-fern keyframe encoder ElasticFusion uses for
+// relocalisation and global loop-closure candidate retrieval (Glocker et
+// al.): each fern thresholds the frame's intensity and depth at a few
+// random probe locations, producing a short binary code; frames with small
+// code (Hamming) dissimilarity are loop candidates.
+type fernDB struct {
+	probesX []int // probe pixel coordinates in the downsampled frame
+	probesY []int
+	thInt   []float32 // intensity thresholds per probe
+	thDep   []float32 // depth thresholds per probe
+	w, h    int
+	entries []fernEntry
+}
+
+type fernEntry struct {
+	code  []uint8
+	pose  geom.Pose
+	frame int32
+}
+
+// newFernDB builds a database of n fern probes over w×h downsampled frames,
+// deterministically from seed.
+func newFernDB(n, w, h int, seed int64) *fernDB {
+	rng := rand.New(rand.NewSource(seed))
+	db := &fernDB{
+		probesX: make([]int, n),
+		probesY: make([]int, n),
+		thInt:   make([]float32, n),
+		thDep:   make([]float32, n),
+		w:       w, h: h,
+	}
+	for i := 0; i < n; i++ {
+		db.probesX[i] = rng.Intn(w)
+		db.probesY[i] = rng.Intn(h)
+		db.thInt[i] = float32(0.2 + 0.6*rng.Float64())
+		db.thDep[i] = float32(0.8 + 2.8*rng.Float64())
+	}
+	return db
+}
+
+// encode computes the fern code of a frame (downsampled internally to the
+// database resolution) and returns it with the number of operations.
+func (db *fernDB) encode(depth, intensity *imgproc.Map) ([]uint8, int64) {
+	code := make([]uint8, len(db.probesX))
+	sx := float64(depth.W) / float64(db.w)
+	sy := float64(depth.H) / float64(db.h)
+	var ops int64
+	for i := range db.probesX {
+		ops++
+		x := int(float64(db.probesX[i]) * sx)
+		y := int(float64(db.probesY[i]) * sy)
+		var bits uint8
+		if intensity.At(x, y) > db.thInt[i] {
+			bits |= 1
+		}
+		if d := depth.At(x, y); d > 0 && d > db.thDep[i] {
+			bits |= 2
+		}
+		code[i] = bits
+	}
+	return code, ops
+}
+
+// add stores a keyframe.
+func (db *fernDB) add(code []uint8, pose geom.Pose, frame int32) {
+	db.entries = append(db.entries, fernEntry{code: code, pose: pose, frame: frame})
+}
+
+// dissimilarity returns the fraction of differing probes between two codes.
+func dissimilarity(a, b []uint8) float64 {
+	if len(a) == 0 || len(a) != len(b) {
+		return 1
+	}
+	diff := 0
+	for i := range a {
+		if a[i] != b[i] {
+			diff++
+		}
+	}
+	return float64(diff) / float64(len(a))
+}
+
+// best returns the stored entry most similar to code, excluding entries
+// newer than maxFrame, plus the dissimilarity score; ok is false when the
+// database has no eligible entry.
+func (db *fernDB) best(code []uint8, maxFrame int32) (fernEntry, float64, bool) {
+	bestScore := 2.0
+	var bestEntry fernEntry
+	found := false
+	for _, e := range db.entries {
+		if e.frame > maxFrame {
+			continue
+		}
+		if s := dissimilarity(code, e.code); s < bestScore {
+			bestScore = s
+			bestEntry = e
+			found = true
+		}
+	}
+	return bestEntry, bestScore, found
+}

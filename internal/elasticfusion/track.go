@@ -1,0 +1,293 @@
+package elasticfusion
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/imgproc"
+)
+
+// ErrTrackingLost indicates the joint tracker could not estimate a pose.
+var ErrTrackingLost = errors.New("elasticfusion: tracking lost")
+
+// frameData bundles the per-level inputs of the tracker for one frame.
+type frameData struct {
+	depth     []*imgproc.Map
+	intensity []*imgproc.Map
+	vertex    []*imgproc.VecMap
+	normal    []*imgproc.VecMap
+	gradX     []*imgproc.Map
+	gradY     []*imgproc.Map
+	intr      []imgproc.Intrinsics
+}
+
+// buildFrameData constructs the pyramid (levels deep) for a frame and
+// returns the pyramid operation count.
+func buildFrameData(depth, intensity *imgproc.Map, intr imgproc.Intrinsics, levels int) (*frameData, int64) {
+	fd := &frameData{
+		depth:     make([]*imgproc.Map, levels),
+		intensity: make([]*imgproc.Map, levels),
+		vertex:    make([]*imgproc.VecMap, levels),
+		normal:    make([]*imgproc.VecMap, levels),
+		gradX:     make([]*imgproc.Map, levels),
+		gradY:     make([]*imgproc.Map, levels),
+		intr:      make([]imgproc.Intrinsics, levels),
+	}
+	var ops int64
+	fd.depth[0] = depth
+	fd.intensity[0] = intensity
+	fd.intr[0] = intr
+	for l := 1; l < levels; l++ {
+		var o int64
+		fd.depth[l], o = imgproc.HalfSampleDepth(fd.depth[l-1], 0.05)
+		ops += o
+		fd.intensity[l], o = imgproc.HalfSampleIntensity(fd.intensity[l-1])
+		ops += o
+		fd.intr[l] = fd.intr[l-1].Halved()
+	}
+	for l := 0; l < levels; l++ {
+		fd.vertex[l] = imgproc.DepthToVertex(fd.depth[l], fd.intr[l])
+		fd.normal[l] = imgproc.VertexToNormal(fd.vertex[l])
+		fd.gradX[l], fd.gradY[l] = imgproc.Gradient(fd.intensity[l])
+		ops += int64(fd.depth[l].W * fd.depth[l].H * 3)
+	}
+	return fd, ops
+}
+
+// so3PreAlign estimates a rotation-only increment aligning the previous
+// intensity image to the current one at the coarsest pyramid level
+// (ElasticFusion's SO(3) pre-alignment, used to bootstrap the joint
+// optimization under fast rotation). It returns the rotation increment in
+// the camera frame and the operation count.
+func so3PreAlign(cur, prev *frameData) (geom.Mat3, int64) {
+	l := len(cur.intensity) - 1
+	ic, ip := cur.intensity[l], prev.intensity[l]
+	gx, gy := cur.gradX[l], cur.gradY[l]
+	intr := cur.intr[l]
+	rot := geom.Identity3()
+	var ops int64
+
+	for iter := 0; iter < 5; iter++ {
+		var h [9]float64
+		var b [3]float64
+		matches := 0
+		for y := 1; y < ip.H-1; y++ {
+			for x := 1; x < ip.W-1; x++ {
+				ops++
+				// Rotate the unit ray of the previous pixel and re-project.
+				ray := rot.MulVec(intr.Unproject(x, y))
+				if ray.Z <= 1e-6 {
+					continue
+				}
+				u := ray.X/ray.Z*intr.Fx + intr.Cx
+				v := ray.Y/ray.Z*intr.Fy + intr.Cy
+				ivp, ok := imgproc.SampleBilinear(ic, u, v)
+				if !ok {
+					continue
+				}
+				r := float64(ivp - ip.At(x, y))
+				gxv, _ := imgproc.SampleBilinear(gx, u, v)
+				gyv, _ := imgproc.SampleBilinear(gy, u, v)
+				// Jacobian of intensity wrt rotation (w) via the image
+				// gradient and the projective derivative.
+				z := ray.Z
+				jx := float64(gxv) * intr.Fx
+				jy := float64(gyv) * intr.Fy
+				ju := geom.V3(jx/z, jy/z, -(jx*ray.X+jy*ray.Y)/(z*z))
+				// rot ← exp(dw)·rot perturbs ray by dw×ray, so
+				// ∇_dw r = (−[ray]×)ᵀ·ju = ray × ju.
+				jw := ray.Cross(ju)
+				j := [3]float64{jw.X, jw.Y, jw.Z}
+				for a := 0; a < 3; a++ {
+					b[a] -= j[a] * r
+					for c := 0; c < 3; c++ {
+						h[a*3+c] += j[a] * j[c]
+					}
+				}
+				matches++
+			}
+		}
+		if matches < 30 {
+			break
+		}
+		x, err := geom.Solve3(&h, &b)
+		if err != nil {
+			break
+		}
+		dw := geom.V3(x[0], x[1], x[2])
+		if dw.Norm() > 0.3 {
+			break // diverging; keep what we have
+		}
+		rot = geom.ExpSO3(dw).Mul(rot)
+		if dw.Norm() < 1e-4 {
+			break
+		}
+	}
+	return rot, ops
+}
+
+// jointTrack runs the combined geometric (point-to-plane ICP against the
+// model prediction) and photometric (intensity against the reference image)
+// Gauss-Newton pose estimation.
+//
+// icpWeight is the paper's "ICP/RGB weight": the relative weight of the
+// geometric term. refIntensity/refVertexWorld supply the photometric
+// reference (the model prediction, or the previous frame in frame-to-frame
+// RGB mode): an intensity image with per-pixel world-space geometry, taken
+// from refPose's viewpoint at full resolution. iterations is per level,
+// finest first; levels lists which pyramid levels run (fast odometry uses
+// only the finest).
+func jointTrack(
+	cur *frameData,
+	model *renderMaps,
+	refIntensity *imgproc.Map,
+	refVertexWorld *imgproc.VecMap,
+	refPose geom.Pose,
+	refIntr imgproc.Intrinsics,
+	initial geom.Pose,
+	icpWeight float64,
+	levels []int,
+	iterations []int,
+) (geom.Pose, int64, int64, error) {
+	const (
+		distThreshold   = 0.12
+		normalThreshold = 0.7
+	)
+	pose := initial
+	refInv := refPose.Inverse()
+	var icpOps, rgbOps int64
+	tracked := false
+
+	for li := len(levels) - 1; li >= 0; li-- {
+		l := levels[li]
+		iters := iterations[li]
+		vtx, nrm := cur.vertex[l], cur.normal[l]
+		for it := 0; it < iters; it++ {
+			var h [36]float64
+			var b [6]float64
+			icpMatches := 0
+			valid := 0
+
+			// --- Geometric term (point-to-plane vs model prediction) ---
+			for y := 0; y < vtx.H; y++ {
+				for x := 0; x < vtx.W; x++ {
+					if !vtx.ValidAt(x, y) || !nrm.ValidAt(x, y) {
+						continue
+					}
+					valid++
+					icpOps++
+					vWorld := pose.Apply(vtx.At(x, y))
+					pRef := refInv.Apply(vWorld)
+					u, vv, ok := refIntr.Project(pRef)
+					if !ok {
+						continue
+					}
+					if !model.vertex.ValidAt(u, vv) || !model.normal.ValidAt(u, vv) {
+						continue
+					}
+					mV := model.vertex.At(u, vv)
+					mN := model.normal.At(u, vv)
+					diff := vWorld.Sub(mV)
+					if diff.Norm() > distThreshold {
+						continue
+					}
+					nW := pose.Rotate(nrm.At(x, y))
+					if nW.Dot(mN) < normalThreshold {
+						continue
+					}
+					icpMatches++
+					r := mN.Dot(diff)
+					jv := mN
+					jw := vWorld.Cross(mN)
+					j := [6]float64{jv.X, jv.Y, jv.Z, jw.X, jw.Y, jw.Z}
+					for a := 0; a < 6; a++ {
+						b[a] -= icpWeight * j[a] * r
+						for c := a; c < 6; c++ {
+							h[a*6+c] += icpWeight * j[a] * j[c]
+						}
+					}
+				}
+			}
+
+			// --- Photometric term (reference intensity vs current) ---
+			// Residuals are formed over the reference image: each reference
+			// pixel with geometry is warped into the current frame.
+			ic := cur.intensity[l]
+			gx, gy := cur.gradX[l], cur.gradY[l]
+			curIntr := cur.intr[l]
+			curInv := pose.Inverse()
+			step := 1 << l // reference is full-res; sample sparsely at coarse levels
+			for y := 0; y < refVertexWorld.H; y += step {
+				for x := 0; x < refVertexWorld.W; x += step {
+					if !refVertexWorld.ValidAt(x, y) {
+						continue
+					}
+					rgbOps++
+					pWorld := refVertexWorld.At(x, y)
+					pCur := curInv.Apply(pWorld)
+					if pCur.Z <= 0.05 {
+						continue
+					}
+					u := pCur.X/pCur.Z*curIntr.Fx + curIntr.Cx
+					v := pCur.Y/pCur.Z*curIntr.Fy + curIntr.Cy
+					icv, ok := imgproc.SampleBilinear(ic, u, v)
+					if !ok {
+						continue
+					}
+					r := float64(icv - refIntensity.At(x, y))
+					if math.Abs(r) > 0.35 {
+						continue // occlusion / gross outlier
+					}
+					gxv, _ := imgproc.SampleBilinear(gx, u, v)
+					gyv, _ := imgproc.SampleBilinear(gy, u, v)
+					jx := float64(gxv) * curIntr.Fx
+					jy := float64(gyv) * curIntr.Fy
+					z := pCur.Z
+					// Gradient of the residual wrt pCur (camera frame).
+					ju := geom.V3(jx/z, jy/z, -(jx*pCur.X+jy*pCur.Y)/(z*z))
+					// pCur = Rᵀ(pWorld − t). Under pose ← Exp(ξ)·pose:
+					// pCur ≈ pCur₀ − Rᵀ(v + w×pWorld), hence
+					// ∇_v r = −R·ju and ∇_w r = (R·ju) × pWorld.
+					juW := pose.R.MulVec(ju)
+					jv := juW.Scale(-1)
+					jw := juW.Cross(pWorld)
+					j := [6]float64{jv.X, jv.Y, jv.Z, jw.X, jw.Y, jw.Z}
+					for a := 0; a < 6; a++ {
+						b[a] -= j[a] * r
+						for c := a; c < 6; c++ {
+							h[a*6+c] += j[a] * j[c]
+						}
+					}
+				}
+			}
+
+			if valid == 0 || icpMatches < valid/10 {
+				break
+			}
+			for a := 1; a < 6; a++ {
+				for c := 0; c < a; c++ {
+					h[a*6+c] = h[c*6+a]
+				}
+			}
+			x, err := geom.Solve6(&h, &b)
+			if err != nil {
+				break
+			}
+			dv := geom.V3(x[0], x[1], x[2])
+			dw := geom.V3(x[3], x[4], x[5])
+			if dv.Norm() > 0.5 || dw.Norm() > 0.5 {
+				break // implausible jump
+			}
+			pose = geom.ExpSE3(dv, dw).Mul(pose).Orthonormalize()
+			tracked = true
+			if dv.Norm()+dw.Norm() < 1e-6 {
+				break
+			}
+		}
+	}
+	if !tracked {
+		return initial, icpOps, rgbOps, ErrTrackingLost
+	}
+	return pose, icpOps, rgbOps, nil
+}

@@ -1,0 +1,221 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/pareto"
+	"repro/internal/plot"
+	"repro/internal/slambench"
+)
+
+// DSEResult is one design-space exploration (the content of one Fig. 3/4
+// panel): the random-sampling baseline, the active-learning result, and the
+// default-configuration reference point.
+type DSEResult struct {
+	Benchmark string
+	Platform  string
+
+	Run *core.Result
+
+	// DefaultRuntime/DefaultAccuracy locate the expert default.
+	DefaultRuntime  float64
+	DefaultAccuracy float64
+	DefaultMetrics  slambench.Metrics
+
+	// ValidRandom and ValidAL count configurations under the 5 cm
+	// accuracy limit found by each phase (§IV-C: 333 random vs 642 new AL
+	// points on the ODROID).
+	ValidRandom int
+	ValidAL     int
+
+	// FrontSize is the number of measured Pareto points (§IV-C: 36 on the
+	// ODROID, 167 on the ASUS).
+	FrontSize int
+
+	// BestSpeed and BestAccuracy are the front extremes; BestValidSpeed
+	// is the fastest configuration under the accuracy limit (the §IV-B
+	// "29.09 FPS within 4.47 cm" claim and the crowd-sourcing config).
+	BestSpeed      core.Sample
+	BestAccuracy   core.Sample
+	BestValidSpeed *core.Sample
+
+	// SpeedupVsDefault is DefaultRuntime / BestValidSpeed runtime (§IV-C:
+	// 6.35× on the ODROID; 1.52× for ElasticFusion on the GTX).
+	SpeedupVsDefault float64
+	// AccuracyGainVsDefault is DefaultAccuracy / BestAccuracy accuracy
+	// (Table I: 2.07× for ElasticFusion).
+	AccuracyGainVsDefault float64
+}
+
+// runDSE executes one exploration and derives the figure statistics.
+func runDSE(opts Options, bench slambench.Benchmark, dev device.Model) (*DSEResult, error) {
+	opts = opts.withDefaults()
+	space := bench.Space()
+	eval := slambench.Evaluator(bench, dev, slambench.RuntimeAccuracy)
+
+	budget := opts.dseBudget(bench.Name() == "elasticfusion")
+	run, err := core.Run(space, eval, budget)
+	if err != nil {
+		return nil, err
+	}
+
+	defM, err := bench.Evaluate(bench.DefaultConfig(), dev)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &DSEResult{
+		Benchmark:       bench.Name(),
+		Platform:        dev.Name,
+		Run:             run,
+		DefaultMetrics:  defM,
+		DefaultRuntime:  defM.SecPerFrame,
+		DefaultAccuracy: bench.Accuracy(defM),
+		FrontSize:       len(run.Front),
+	}
+	for _, s := range run.Samples {
+		if s.Objs[1] < slambench.AccuracyLimit {
+			if s.ActiveLearning {
+				res.ValidAL++
+			} else {
+				res.ValidRandom++
+			}
+		}
+	}
+	if best, ok := pareto.BestBy(run.Front, 0); ok {
+		if s, found := run.ByIndex(best.ID); found {
+			res.BestSpeed = s
+		}
+	}
+	if best, ok := pareto.BestBy(run.Front, 1); ok {
+		if s, found := run.ByIndex(best.ID); found {
+			res.BestAccuracy = s
+		}
+	}
+	if best, ok := pareto.BestUnderConstraint(run.Front, 0, 1, slambench.AccuracyLimit); ok {
+		if s, found := run.ByIndex(best.ID); found {
+			res.BestValidSpeed = &s
+			res.SpeedupVsDefault = res.DefaultRuntime / s.Objs[0]
+		}
+	}
+	if len(res.BestAccuracy.Objs) > 0 && res.BestAccuracy.Objs[1] > 0 {
+		res.AccuracyGainVsDefault = res.DefaultAccuracy / res.BestAccuracy.Objs[1]
+	}
+	return res, nil
+}
+
+// writeDSE dumps the exploration samples and front to CSV.
+func writeDSE(opts Options, name string, res *DSEResult) error {
+	var rows [][]string
+	for _, s := range res.Run.Samples {
+		phase := "random"
+		if s.ActiveLearning {
+			phase = "active-learning"
+		}
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", s.Index), phase,
+			fmt.Sprintf("%d", s.Iteration),
+			f2s(s.Objs[0]), f2s(s.Objs[1]),
+		})
+	}
+	if err := opts.writeCSV(name+"_samples.csv",
+		[]string{"config_index", "phase", "iteration", "runtime_s_per_frame", "accuracy_ate_m"}, rows); err != nil {
+		return err
+	}
+	rows = rows[:0]
+	space := (res.Run.Samples)[0].Config
+	_ = space
+	for _, p := range res.Run.Front {
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", p.ID), f2s(p.Objs[0]), f2s(p.Objs[1]),
+		})
+	}
+	return opts.writeCSV(name+"_front.csv",
+		[]string{"config_index", "runtime_s_per_frame", "accuracy_ate_m"}, rows)
+}
+
+// Render draws the Fig. 3/4-style scatter: random samples, active-learning
+// samples, front, and the default configuration.
+func (r *DSEResult) Render(w io.Writer) {
+	var rndX, rndY, alX, alY []float64
+	for _, s := range r.Run.Samples {
+		// Clip to the plot window the paper uses (accuracy < 2× limit)
+		// so the catastrophic configurations do not flatten the band.
+		if s.Objs[1] > 2*slambench.AccuracyLimit {
+			continue
+		}
+		if s.ActiveLearning {
+			alX = append(alX, s.Objs[0])
+			alY = append(alY, s.Objs[1])
+		} else {
+			rndX = append(rndX, s.Objs[0])
+			rndY = append(rndY, s.Objs[1])
+		}
+	}
+	var frontX, frontY []float64
+	for _, p := range r.Run.Front {
+		if p.Objs[1] > 2*slambench.AccuracyLimit {
+			continue
+		}
+		frontX = append(frontX, p.Objs[0])
+		frontY = append(frontY, p.Objs[1])
+	}
+	plot.Scatter(w, fmt.Sprintf("%s on %s — random (r) vs active learning (a), front (#), default (D)",
+		r.Benchmark, r.Platform),
+		[]plot.Series{
+			{Name: "random sampling", Marker: 'r', X: rndX, Y: rndY},
+			{Name: "active learning", Marker: 'a', X: alX, Y: alY},
+			{Name: "pareto front", Marker: '#', X: frontX, Y: frontY},
+			{Name: "default", Marker: 'D', X: []float64{r.DefaultRuntime}, Y: []float64{r.DefaultAccuracy}},
+		}, 68, 20, "runtime (s/frame)", "ATE (m)")
+	fprintfIgnore(w, "valid configs (<%.2gm): random %d, active-learning %d; front size %d\n",
+		slambench.AccuracyLimit, r.ValidRandom, r.ValidAL, r.FrontSize)
+	if r.BestValidSpeed != nil {
+		fprintfIgnore(w, "default %.3fs/frame -> best valid %.3fs/frame: speedup %.2fx (accuracy %.4fm)\n",
+			r.DefaultRuntime, r.BestValidSpeed.Objs[0], r.SpeedupVsDefault, r.BestValidSpeed.Objs[1])
+	}
+	if len(r.BestAccuracy.Objs) > 0 {
+		fprintfIgnore(w, "best accuracy %.4fm vs default %.4fm: gain %.2fx\n",
+			r.BestAccuracy.Objs[1], r.DefaultAccuracy, r.AccuracyGainVsDefault)
+	}
+}
+
+// Fig3 runs the KFusion exploration of Figure 3 on the named platform
+// ("ODROID-XU3" for 3a, "ASUS-T200TA" for 3b).
+func Fig3(opts Options, platform string) (*DSEResult, error) {
+	opts = opts.withDefaults()
+	dev, ok := device.ByName(platform)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown platform %q", platform)
+	}
+	bench := slambench.NewKFusionBench(slambench.CachedDataset(opts.datasetScale()))
+	res, err := runDSE(opts, bench, dev)
+	if err != nil {
+		return nil, err
+	}
+	suffix := "a"
+	if platform == "ASUS-T200TA" {
+		suffix = "b"
+	}
+	if err := writeDSE(opts, "fig3"+suffix+"_kfusion_"+platform, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Fig4 runs the ElasticFusion exploration of Figure 4 on the GTX 780 Ti.
+func Fig4(opts Options) (*DSEResult, error) {
+	opts = opts.withDefaults()
+	bench := slambench.NewElasticFusionBench(slambench.CachedDataset(opts.datasetScale()))
+	res, err := runDSE(opts, bench, device.GTX780Ti())
+	if err != nil {
+		return nil, err
+	}
+	if err := writeDSE(opts, "fig4_elasticfusion_GTX-780Ti", res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testOpts(t *testing.T) Options {
+	t.Helper()
+	return Options{Scale: ScaleTest, Seed: 1, OutDir: t.TempDir()}
+}
+
+func TestFig1TestScale(t *testing.T) {
+	opts := testOpts(t)
+	res, err := Fig1(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.MuValues) != 3 || len(res.ICPValues) != 3 {
+		t.Fatalf("grid %dx%d", len(res.MuValues), len(res.ICPValues))
+	}
+	if len(res.RuntimeMs) != 3 || len(res.RuntimeMs[0]) != 3 {
+		t.Fatal("surface shape wrong")
+	}
+	for i := range res.RuntimeMs {
+		for j := range res.RuntimeMs[i] {
+			if res.RuntimeMs[i][j] <= 0 {
+				t.Fatalf("runtime[%d][%d] = %v", i, j, res.RuntimeMs[i][j])
+			}
+		}
+	}
+	// Fig. 1's whole point: the surface varies in both axes.
+	if !res.IsNonTrivial() {
+		t.Fatal("response surface is flat — µ and icp-threshold have no effect")
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Fig. 1") {
+		t.Fatal("render missing title")
+	}
+	assertCSV(t, opts.OutDir, "fig1_response_surface.csv")
+}
+
+func TestFig3TestScale(t *testing.T) {
+	opts := testOpts(t)
+	res, err := Fig3(opts, "ODROID-XU3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benchmark != "kfusion" || res.Platform != "ODROID-XU3" {
+		t.Fatalf("identity: %s/%s", res.Benchmark, res.Platform)
+	}
+	if res.FrontSize == 0 {
+		t.Fatal("empty front")
+	}
+	if res.DefaultRuntime <= 0 || res.DefaultAccuracy <= 0 {
+		t.Fatal("default point missing")
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "kfusion on ODROID-XU3") {
+		t.Fatalf("render:\n%s", buf.String())
+	}
+	assertCSV(t, opts.OutDir, "fig3a_kfusion_ODROID-XU3_samples.csv")
+	assertCSV(t, opts.OutDir, "fig3a_kfusion_ODROID-XU3_front.csv")
+}
+
+func TestFig3UnknownPlatform(t *testing.T) {
+	if _, err := Fig3(testOpts(t), "nope"); err == nil {
+		t.Fatal("unknown platform accepted")
+	}
+}
+
+func TestFig4AndTable1TestScale(t *testing.T) {
+	opts := testOpts(t)
+	res, err := Fig4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Benchmark != "elasticfusion" {
+		t.Fatal("wrong benchmark")
+	}
+	tab, err := Table1(opts, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 2 {
+		t.Fatalf("table has %d rows", len(tab.Rows))
+	}
+	if tab.Rows[0].Label != "Default" {
+		t.Fatal("first row must be the default")
+	}
+	if tab.Rows[0].ICP != 10 || tab.Rows[0].Depth != 3 || tab.Rows[0].Confidence != 10 {
+		t.Fatalf("default row wrong: %+v", tab.Rows[0])
+	}
+	// Front rows must be sorted by runtime ascending (front ordering).
+	for i := 2; i < len(tab.Rows); i++ {
+		if tab.Rows[i].RuntimeS < tab.Rows[i-1].RuntimeS {
+			t.Fatal("front rows out of order")
+		}
+	}
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	if !strings.Contains(buf.String(), "Table I") {
+		t.Fatal("render missing title")
+	}
+	assertCSV(t, opts.OutDir, "table1_elasticfusion_pareto.csv")
+}
+
+func TestFig5TestScale(t *testing.T) {
+	opts := testOpts(t)
+	res, err := Fig5(opts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Speedups) != 12 { // test scale uses 12 devices
+		t.Fatalf("%d devices", len(res.Speedups))
+	}
+	for i := 1; i < len(res.Speedups); i++ {
+		if res.Speedups[i] < res.Speedups[i-1] {
+			t.Fatal("speedups not sorted")
+		}
+	}
+	if res.MinSpeedup <= 0 || res.MaxSpeedup < res.MinSpeedup {
+		t.Fatalf("speedup range [%v, %v]", res.MinSpeedup, res.MaxSpeedup)
+	}
+	// §IV-D: strong rank correlation across similar (ARM) devices.
+	if res.SpearmanToODROID < 0.5 {
+		t.Fatalf("Spearman %v too weak — transfer argument broken", res.SpearmanToODROID)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if !strings.Contains(buf.String(), "Fig. 5") {
+		t.Fatal("render missing title")
+	}
+	assertCSV(t, opts.OutDir, "fig5_crowdsourcing.csv")
+}
+
+func TestPickFrontRows(t *testing.T) {
+	if got := pickFrontRows(0, 4); got != nil {
+		t.Fatalf("empty front: %v", got)
+	}
+	if got := pickFrontRows(3, 4); len(got) != 3 {
+		t.Fatalf("small front: %v", got)
+	}
+	got := pickFrontRows(100, 4)
+	if len(got) != 4 || got[0] != 0 || got[3] != 99 {
+		t.Fatalf("extremes not kept: %v", got)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Scale != ScaleQuick || o.Seed != 1 {
+		t.Fatalf("defaults: %+v", o)
+	}
+	if (Options{Scale: ScaleTest}).withDefaults().datasetScale() != "test" {
+		t.Fatal("test scale should use the test dataset")
+	}
+	if (Options{Scale: ScaleQuick}).withDefaults().datasetScale() != "dse" {
+		t.Fatal("quick scale should use the halved DSE dataset")
+	}
+	if (Options{Scale: ScaleFull}).withDefaults().datasetScale() != "full" {
+		t.Fatal("full scale should use the reference dataset")
+	}
+}
+
+func TestDSEBudgetScaling(t *testing.T) {
+	full := (Options{Scale: ScaleFull}).withDefaults().dseBudget(false)
+	if full.RandomSamples != 3000 || full.MaxIterations != 6 || full.MaxBatch != 300 {
+		t.Fatalf("full KF budget: %+v", full)
+	}
+	fullEF := (Options{Scale: ScaleFull}).withDefaults().dseBudget(true)
+	if fullEF.RandomSamples != 2400 {
+		t.Fatalf("full EF budget: %+v", fullEF)
+	}
+	testB := (Options{Scale: ScaleTest}).withDefaults().dseBudget(false)
+	if testB.RandomSamples >= 100 {
+		t.Fatalf("test budget too large: %+v", testB)
+	}
+}
+
+func TestWriteCSVNoDir(t *testing.T) {
+	o := Options{} // no OutDir: writes are no-ops
+	if err := o.writeCSV("x.csv", []string{"a"}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func assertCSV(t *testing.T, dir, name string) {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatalf("missing CSV %s: %v", name, err)
+	}
+	if len(strings.Split(strings.TrimSpace(string(data)), "\n")) < 2 {
+		t.Fatalf("CSV %s has no data rows", name)
+	}
+}

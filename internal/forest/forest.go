@@ -1,0 +1,228 @@
+// Package forest implements the randomized decision forests (Breiman-style
+// regression random forests) that HyperMapper fits, one per objective, to
+// predict performance metrics over the whole design space (paper §III-E).
+//
+// Go has no mature ML ecosystem, so the forests are built from scratch:
+// CART variance-reduction trees, bootstrap bagging, per-node feature
+// subsampling, out-of-bag error estimation and impurity-based feature
+// importance (used for the paper's feature/metric correlation analysis).
+// Fitting and batch prediction parallelize across trees and across input
+// chunks respectively.
+package forest
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/par"
+)
+
+// Options configures forest training. The zero value selects the defaults
+// documented on each field.
+type Options struct {
+	// Trees is the number of trees in the ensemble (default 32).
+	Trees int
+	// MaxDepth caps tree depth; 0 means unbounded.
+	MaxDepth int
+	// MinSamplesLeaf is the minimum samples in a leaf (default 2).
+	MinSamplesLeaf int
+	// MaxFeatures is the number of features considered per split;
+	// 0 selects max(1, d/3), the standard regression-forest heuristic.
+	MaxFeatures int
+	// SampleRatio is the bootstrap sample size as a fraction of the
+	// training set (default 1.0, drawn with replacement).
+	SampleRatio float64
+	// Seed makes training deterministic. Trees are seeded independently
+	// from it, so results do not depend on scheduling.
+	Seed int64
+	// Workers bounds fitting/prediction parallelism; 0 = GOMAXPROCS.
+	Workers int
+}
+
+func (o Options) withDefaults(d int) Options {
+	if o.Trees <= 0 {
+		o.Trees = 32
+	}
+	if o.MinSamplesLeaf <= 0 {
+		o.MinSamplesLeaf = 2
+	}
+	if o.MaxFeatures <= 0 {
+		o.MaxFeatures = d / 3
+		if o.MaxFeatures < 1 {
+			o.MaxFeatures = 1
+		}
+	}
+	if o.SampleRatio <= 0 || o.SampleRatio > 1 {
+		o.SampleRatio = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = par.MaxWorkers()
+	}
+	return o
+}
+
+// Forest is a fitted regression forest.
+type Forest struct {
+	trees      []*tree
+	nFeatures  int
+	opts       Options
+	oobError   float64
+	importance []float64
+}
+
+// Fit trains a forest on rows x (one feature vector per sample) and targets
+// y. It returns an error on empty or inconsistent input.
+func Fit(x [][]float64, y []float64, opts Options) (*Forest, error) {
+	n := len(x)
+	if n == 0 {
+		return nil, errors.New("forest: no training samples")
+	}
+	if len(y) != n {
+		return nil, fmt.Errorf("forest: %d samples but %d targets", n, len(y))
+	}
+	d := len(x[0])
+	if d == 0 {
+		return nil, errors.New("forest: zero-dimensional features")
+	}
+	for i, row := range x {
+		if len(row) != d {
+			return nil, fmt.Errorf("forest: row %d has %d features, want %d", i, len(row), d)
+		}
+	}
+	o := opts.withDefaults(d)
+
+	f := &Forest{
+		trees:      make([]*tree, o.Trees),
+		nFeatures:  d,
+		opts:       o,
+		importance: make([]float64, d),
+	}
+
+	bootSize := int(float64(n) * o.SampleRatio)
+	if bootSize < 1 {
+		bootSize = 1
+	}
+
+	type fitResult struct {
+		imp     []float64
+		oobSum  []float64 // per-sample OOB prediction sum
+		oobCnt  []int
+		treeIdx int
+	}
+	results := make([]fitResult, o.Trees)
+
+	par.ForWorkers(o.Trees, o.Workers, func(ti int) {
+		rng := rand.New(rand.NewSource(o.Seed + int64(ti)*1_000_003 + 17))
+		inBag := make([]bool, n)
+		order := make([]int, bootSize)
+		for i := range order {
+			s := rng.Intn(n)
+			order[i] = s
+			inBag[s] = true
+		}
+		b := &treeBuilder{
+			x:          x,
+			y:          y,
+			opts:       o,
+			rng:        rng,
+			importance: make([]float64, d),
+			order:      order,
+		}
+		t := b.grow()
+		f.trees[ti] = t
+
+		oobSum := make([]float64, n)
+		oobCnt := make([]int, n)
+		for s := 0; s < n; s++ {
+			if !inBag[s] {
+				oobSum[s] = t.predict(x[s])
+				oobCnt[s] = 1
+			}
+		}
+		results[ti] = fitResult{imp: b.importance, oobSum: oobSum, oobCnt: oobCnt, treeIdx: ti}
+	})
+
+	// Aggregate OOB error and importance (sequentially: deterministic).
+	oobSum := make([]float64, n)
+	oobCnt := make([]int, n)
+	for _, r := range results {
+		for i := range f.importance {
+			f.importance[i] += r.imp[i]
+		}
+		for s := 0; s < n; s++ {
+			oobSum[s] += r.oobSum[s]
+			oobCnt[s] += r.oobCnt[s]
+		}
+	}
+	totImp := 0.0
+	for _, v := range f.importance {
+		totImp += v
+	}
+	if totImp > 0 {
+		for i := range f.importance {
+			f.importance[i] /= totImp
+		}
+	}
+	sse, cnt := 0.0, 0
+	for s := 0; s < n; s++ {
+		if oobCnt[s] > 0 {
+			e := y[s] - oobSum[s]/float64(oobCnt[s])
+			sse += e * e
+			cnt++
+		}
+	}
+	if cnt > 0 {
+		f.oobError = sse / float64(cnt)
+	}
+	return f, nil
+}
+
+// NumTrees returns the ensemble size.
+func (f *Forest) NumTrees() int { return len(f.trees) }
+
+// NumFeatures returns the feature dimensionality the forest was fitted on.
+func (f *Forest) NumFeatures() int { return f.nFeatures }
+
+// OOBError returns the out-of-bag mean squared error estimated during
+// fitting (0 if every sample ended up in every bag).
+func (f *Forest) OOBError() float64 { return f.oobError }
+
+// FeatureImportance returns the normalized impurity-decrease importance of
+// each feature (sums to 1 when any split occurred).
+func (f *Forest) FeatureImportance() []float64 {
+	return append([]float64(nil), f.importance...)
+}
+
+// Predict returns the forest prediction (mean of tree predictions) for one
+// feature vector.
+func (f *Forest) Predict(x []float64) float64 {
+	sum := 0.0
+	for _, t := range f.trees {
+		sum += t.predict(x)
+	}
+	return sum / float64(len(f.trees))
+}
+
+// PredictBatch predicts rows in parallel and returns predictions in input
+// order. Used by the active-learning loop to sweep the whole configuration
+// pool.
+func (f *Forest) PredictBatch(x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	par.ForChunked(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f.Predict(x[i])
+		}
+	})
+	return out
+}
+
+// PredictInto is PredictBatch writing into a caller-provided slice, avoiding
+// allocation in the active-learning hot loop.
+func (f *Forest) PredictInto(x [][]float64, out []float64) {
+	par.ForChunked(len(x), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = f.Predict(x[i])
+		}
+	})
+}

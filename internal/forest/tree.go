@@ -1,0 +1,179 @@
+package forest
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// tree is a CART regression tree stored in flat arrays (structure-of-arrays
+// layout keeps prediction cache-friendly). Node 0 is the root. feature[i] is
+// -1 for leaves, whose prediction is value[i]; internal nodes route samples
+// with x[feature] <= thresh to left, else right.
+type tree struct {
+	feature []int32
+	thresh  []float64
+	left    []int32
+	right   []int32
+	value   []float64
+}
+
+// predict routes x through the tree to a leaf mean.
+func (t *tree) predict(x []float64) float64 {
+	i := int32(0)
+	for t.feature[i] >= 0 {
+		if x[t.feature[i]] <= t.thresh[i] {
+			i = t.left[i]
+		} else {
+			i = t.right[i]
+		}
+	}
+	return t.value[i]
+}
+
+// treeBuilder holds the working state for growing one tree.
+type treeBuilder struct {
+	x          [][]float64 // training features, row-major samples
+	y          []float64
+	opts       Options
+	rng        *rand.Rand
+	t          *tree
+	importance []float64 // impurity-decrease accumulator per feature
+	order      []int     // scratch: sample indices, partitioned in place
+	featBuf    []int     // scratch: candidate feature indices
+}
+
+// grow builds the tree over the sample indices in b.order and returns it.
+func (b *treeBuilder) grow() *tree {
+	b.t = &tree{}
+	b.buildNode(0, len(b.order), 0)
+	return b.t
+}
+
+// addNode appends a node and returns its index.
+func (b *treeBuilder) addNode() int32 {
+	i := int32(len(b.t.feature))
+	b.t.feature = append(b.t.feature, -1)
+	b.t.thresh = append(b.t.thresh, 0)
+	b.t.left = append(b.t.left, -1)
+	b.t.right = append(b.t.right, -1)
+	b.t.value = append(b.t.value, 0)
+	return i
+}
+
+// buildNode grows the subtree over b.order[lo:hi] and returns its node index.
+func (b *treeBuilder) buildNode(lo, hi, depth int) int32 {
+	node := b.addNode()
+	n := hi - lo
+
+	// Node statistics.
+	sum, sum2 := 0.0, 0.0
+	for _, idx := range b.order[lo:hi] {
+		v := b.y[idx]
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n)
+	sse := sum2 - sum*sum/float64(n) // total squared error around the mean
+	b.t.value[node] = mean
+
+	if n < 2*b.opts.MinSamplesLeaf || sse <= 1e-12 ||
+		(b.opts.MaxDepth > 0 && depth >= b.opts.MaxDepth) {
+		return node
+	}
+
+	feat, thresh, gain, split := b.bestSplit(lo, hi, sum)
+	if feat < 0 {
+		return node
+	}
+
+	// Partition b.order[lo:hi] in place around the split.
+	i, j := lo, hi-1
+	for i <= j {
+		if b.x[b.order[i]][feat] <= thresh {
+			i++
+		} else {
+			b.order[i], b.order[j] = b.order[j], b.order[i]
+			j--
+		}
+	}
+	// i is now the first right-side element; must match the split size.
+	mid := lo + split
+	if i != mid {
+		// Ties on the threshold can shift the boundary; use the partition
+		// point actually produced (it is consistent with predict's <=).
+		mid = i
+	}
+	if mid == lo || mid == hi {
+		return node // degenerate partition; keep as leaf
+	}
+
+	b.importance[feat] += gain
+	b.t.feature[node] = int32(feat)
+	b.t.thresh[node] = thresh
+	b.t.left[node] = b.buildNode(lo, mid, depth+1)
+	b.t.right[node] = b.buildNode(mid, hi, depth+1)
+	return node
+}
+
+// bestSplit searches a random subset of features for the split with the
+// largest SSE reduction. It returns the chosen feature (-1 if none), the
+// threshold, the impurity decrease, and the number of samples that go left.
+func (b *treeBuilder) bestSplit(lo, hi int, sum float64) (feat int, thresh float64, gain float64, split int) {
+	n := hi - lo
+	d := len(b.x[0])
+	mtry := b.opts.MaxFeatures
+	if mtry <= 0 || mtry > d {
+		mtry = d
+	}
+
+	// Draw mtry distinct candidate features.
+	b.featBuf = b.featBuf[:0]
+	for i := 0; i < d; i++ {
+		b.featBuf = append(b.featBuf, i)
+	}
+	b.rng.Shuffle(d, func(i, j int) { b.featBuf[i], b.featBuf[j] = b.featBuf[j], b.featBuf[i] })
+	candidates := b.featBuf[:mtry]
+
+	feat = -1
+	bestScore := math.Inf(-1)
+	seg := b.order[lo:hi]
+	minLeaf := b.opts.MinSamplesLeaf
+
+	for _, f := range candidates {
+		sort.Slice(seg, func(i, j int) bool { return b.x[seg[i]][f] < b.x[seg[j]][f] })
+		// Prefix scan: evaluate every boundary between distinct values.
+		leftSum := 0.0
+		for i := 0; i < n-1; i++ {
+			leftSum += b.y[seg[i]]
+			nl := i + 1
+			nr := n - nl
+			if nl < minLeaf || nr < minLeaf {
+				continue
+			}
+			xv, xn := b.x[seg[i]][f], b.x[seg[i+1]][f]
+			if xv == xn {
+				continue // cannot split between equal values
+			}
+			rightSum := sum - leftSum
+			// Maximizing SSE reduction == maximizing
+			// leftSum²/nl + rightSum²/nr (parent term is constant).
+			score := leftSum*leftSum/float64(nl) + rightSum*rightSum/float64(nr)
+			if score > bestScore {
+				bestScore = score
+				feat = f
+				thresh = (xv + xn) / 2
+				split = nl
+			}
+		}
+	}
+	if feat < 0 {
+		return -1, 0, 0, 0
+	}
+	parentScore := sum * sum / float64(n)
+	gain = bestScore - parentScore
+	if gain <= 1e-12 {
+		return -1, 0, 0, 0
+	}
+	return feat, thresh, gain, split
+}

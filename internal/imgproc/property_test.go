@@ -1,0 +1,121 @@
+package imgproc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestBilateralMaximumPrinciple: each filtered pixel is a convex
+// combination of valid input pixels in its window, so it must lie within
+// the [min, max] of the whole valid input.
+func TestBilateralMaximumPrinciple(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := NewMap(12, 12)
+		lo, hi := float32(1e9), float32(-1e9)
+		for i := range src.Pix {
+			if rng.Float64() < 0.85 {
+				v := float32(0.5 + rng.Float64()*3)
+				src.Pix[i] = v
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+		}
+		dst, _ := BilateralFilter(src, 2, 1.5, 0.2)
+		for i, v := range dst.Pix {
+			if src.Pix[i] == 0 {
+				if v != 0 {
+					return false // invalid must stay invalid
+				}
+				continue
+			}
+			if v < lo-1e-5 || v > hi+1e-5 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBlockAverageMeanPreserved: for fully valid images, downsampling
+// preserves the global mean exactly (it partitions the pixels).
+func TestBlockAverageMeanPreserved(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := NewMap(16, 16)
+		for i := range src.Pix {
+			src.Pix[i] = float32(1 + rng.Float64())
+		}
+		dst, _ := BlockAverage(src, 4)
+		var meanSrc, meanDst float64
+		for _, v := range src.Pix {
+			meanSrc += float64(v)
+		}
+		meanSrc /= float64(len(src.Pix))
+		for _, v := range dst.Pix {
+			meanDst += float64(v)
+		}
+		meanDst /= float64(len(dst.Pix))
+		return abs64(meanSrc-meanDst) < 1e-5
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs64(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TestPyramidChainDimensions: repeated halving keeps dimensions and
+// intrinsics consistent.
+func TestPyramidChainDimensions(t *testing.T) {
+	k := StandardIntrinsics(160, 120)
+	m := NewMap(160, 120)
+	for i := range m.Pix {
+		m.Pix[i] = 2
+	}
+	for level := 0; level < 3; level++ {
+		if m.W != k.W || m.H != k.H {
+			t.Fatalf("level %d: map %dx%d vs intrinsics %dx%d", level, m.W, m.H, k.W, k.H)
+		}
+		m2, _ := HalfSampleDepth(m, 0.05)
+		m = m2
+		k = k.Halved()
+	}
+}
+
+// TestVertexNormalUnitLength: all valid normals are unit length.
+func TestVertexNormalUnitLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	k := StandardIntrinsics(32, 24)
+	depth := NewMap(32, 24)
+	for i := range depth.Pix {
+		depth.Pix[i] = float32(1.5 + 0.3*rng.Float64())
+	}
+	n := VertexToNormal(DepthToVertex(depth, k))
+	for y := 0; y < n.H; y++ {
+		for x := 0; x < n.W; x++ {
+			if !n.ValidAt(x, y) {
+				continue
+			}
+			l := n.At(x, y).Norm()
+			if abs64(l-1) > 1e-9 {
+				t.Fatalf("normal at (%d,%d) has length %v", x, y, l)
+			}
+		}
+	}
+}

@@ -1,0 +1,320 @@
+package kfusion
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/imgproc"
+	"repro/internal/sensor"
+)
+
+// testDataset is rendered once for the package tests: small but large
+// enough for ICP to track.
+var testDataset = sensor.Generate(sensor.Options{
+	Width: 80, Height: 60, Frames: 25,
+	Noise:      sensor.KinectNoise(1),
+	Trajectory: sensor.TrajectorySlice(sensor.LivingRoomTrajectory2, 100),
+})
+
+// testConfig is a cheap configuration for pipeline tests.
+func testConfig() Config {
+	return Config{
+		VolumeResolution: 128,
+		Mu:               0.12,
+		ComputeRatio:     1,
+		TrackingRate:     1,
+		IntegrationRate:  1,
+		ICPThreshold:     1e-5,
+		PyramidIters:     [3]int{6, 4, 3},
+	}
+}
+
+func maxATE(traj, gt []geom.Pose) float64 {
+	worst := 0.0
+	for i := range traj {
+		if d := geom.Distance(traj[i], gt[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Config{
+		{VolumeResolution: 4, Mu: 0.1, ComputeRatio: 1, TrackingRate: 1, IntegrationRate: 1},
+		{VolumeResolution: 64, Mu: 0, ComputeRatio: 1, TrackingRate: 1, IntegrationRate: 1},
+		{VolumeResolution: 64, Mu: 0.1, ComputeRatio: 0, TrackingRate: 1, IntegrationRate: 1},
+		{VolumeResolution: 64, Mu: 0.1, ComputeRatio: 1, TrackingRate: 0, IntegrationRate: 1},
+		{VolumeResolution: 64, Mu: 0.1, ComputeRatio: 1, TrackingRate: 1, IntegrationRate: 0},
+		{VolumeResolution: 64, Mu: 0.1, ComputeRatio: 1, TrackingRate: 1, IntegrationRate: 1, ICPThreshold: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("config %d should be invalid", i)
+		}
+	}
+}
+
+func TestVolumeBasics(t *testing.T) {
+	v := NewVolume(16, 1.6, geom.V3(0, 0, 0))
+	if math.Abs(v.VoxelSize()-0.1) > 1e-12 {
+		t.Fatalf("voxel size = %v", v.VoxelSize())
+	}
+	tv, w := v.At(0, 0, 0)
+	if tv != 1 || w != 0 {
+		t.Fatalf("initial voxel = (%v, %v)", tv, w)
+	}
+	if tv, w = v.At(-1, 0, 0); tv != 1 || w != 0 {
+		t.Fatal("out-of-grid must read as far/unobserved")
+	}
+	v.setBlend(2, 3, 4, -0.5, 10)
+	tv, w = v.At(2, 3, 4)
+	if tv != -0.5 || w != 1 {
+		t.Fatalf("after blend: (%v, %v)", tv, w)
+	}
+	v.setBlend(2, 3, 4, 0.5, 10)
+	tv, _ = v.At(2, 3, 4)
+	if math.Abs(float64(tv)) > 1e-6 {
+		t.Fatalf("weighted mean = %v, want 0", tv)
+	}
+}
+
+func TestVolumeWeightCap(t *testing.T) {
+	v := NewVolume(8, 1, geom.Vec3{})
+	for i := 0; i < 20; i++ {
+		v.setBlend(1, 1, 1, 0, 5)
+	}
+	if _, w := v.At(1, 1, 1); w != 5 {
+		t.Fatalf("weight = %v, want cap 5", w)
+	}
+}
+
+func TestIntegrateRaycastRecoversPlane(t *testing.T) {
+	// Synthetic fronto-parallel plane at z = 1.5 m from the camera: after
+	// integration, raycast must recover it within ~a voxel.
+	intr := imgproc.StandardIntrinsics(40, 30)
+	depth := imgproc.NewMap(40, 30)
+	for i := range depth.Pix {
+		depth.Pix[i] = 1.5
+	}
+	pose := geom.IdentityPose() // camera at origin looking down +z
+	vol := NewVolume(64, 3.2, geom.V3(0, 0, 1.6))
+	updates := vol.Integrate(depth, intr, pose, 0.1, 100)
+	if updates == 0 {
+		t.Fatal("integration did nothing")
+	}
+	vtx, nrm, steps := vol.Raycast(intr, pose, 0.1, 0.3, 3.0)
+	if steps == 0 {
+		t.Fatal("raycast did nothing")
+	}
+	hits := 0
+	for y := 8; y < 22; y++ {
+		for x := 10; x < 30; x++ {
+			if !vtx.ValidAt(x, y) {
+				continue
+			}
+			hits++
+			p := vtx.At(x, y)
+			if math.Abs(p.Z-1.5) > 0.08 {
+				t.Fatalf("recovered depth %v at (%d,%d), want 1.5±0.08", p.Z, x, y)
+			}
+			n := nrm.At(x, y)
+			if math.Abs(math.Abs(n.Z)-1) > 0.2 {
+				t.Fatalf("plane normal = %v", n)
+			}
+		}
+	}
+	if hits < 100 {
+		t.Fatalf("only %d raycast hits in the central window", hits)
+	}
+}
+
+func TestInterpUnobservedInvalid(t *testing.T) {
+	vol := NewVolume(16, 1.6, geom.Vec3{})
+	if _, ok := vol.Interp(geom.V3(0.1, 0.1, 0.1)); ok {
+		t.Fatal("interp in unobserved space must be invalid")
+	}
+}
+
+func TestRunEndToEndTracksWell(t *testing.T) {
+	res, err := Run(testDataset, testConfig(), SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trajectory) != testDataset.NumFrames() {
+		t.Fatalf("trajectory length %d", len(res.Trajectory))
+	}
+	ate := maxATE(res.Trajectory, testDataset.GroundTruth)
+	if ate > 0.06 {
+		t.Fatalf("max ATE %v m too large — tracking broken", ate)
+	}
+	c := res.Counters
+	if c.Frames != 25 || c.TrackedFrames == 0 || c.IntegratedFrames == 0 {
+		t.Fatalf("counters: %+v", c)
+	}
+	if c.BilateralOps == 0 || c.TrackOps == 0 || c.RaycastSteps == 0 || c.IntegrateActual == 0 {
+		t.Fatalf("work not counted: %+v", c)
+	}
+}
+
+func TestFullSweepBilling(t *testing.T) {
+	cfg := testConfig()
+	cfg.IntegrationRate = 2
+	res, err := Run(testDataset, cfg, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Counters.IntegratedFrames * int64(cfg.VolumeResolution) * int64(cfg.VolumeResolution) * int64(cfg.VolumeResolution)
+	if res.Counters.IntegrateFullSweep != want {
+		t.Fatalf("full sweep billed %d, want %d", res.Counters.IntegrateFullSweep, want)
+	}
+	// Integration rate 2 on 25 frames: frames 0,2,4,…,24 = 13.
+	if res.Counters.IntegratedFrames != 13 {
+		t.Fatalf("integrated %d frames, want 13", res.Counters.IntegratedFrames)
+	}
+}
+
+func TestTrackingRateSkipsTracking(t *testing.T) {
+	cfg := testConfig()
+	cfg.TrackingRate = 5
+	res, err := Run(testDataset, cfg, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frames 5,10,15,20 tracked (frame 0 never tracks): ≤ 4 + failures.
+	if res.Counters.TrackedFrames+res.Counters.TrackingFailures != 4 {
+		t.Fatalf("tracked+failed = %d, want 4",
+			res.Counters.TrackedFrames+res.Counters.TrackingFailures)
+	}
+}
+
+func TestLargerICPThresholdIsFasterAndWorse(t *testing.T) {
+	precise := testConfig()
+	precise.ICPThreshold = 1e-7
+	sloppy := testConfig()
+	sloppy.ICPThreshold = 1e-1 // stops after the first iteration per level
+
+	rp, err := Run(testDataset, precise, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(testDataset, sloppy, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Counters.TrackOps >= rp.Counters.TrackOps {
+		t.Fatalf("sloppy threshold should do less ICP work: %d vs %d",
+			rs.Counters.TrackOps, rp.Counters.TrackOps)
+	}
+	atePrecise := maxATE(rp.Trajectory, testDataset.GroundTruth)
+	ateSloppy := maxATE(rs.Trajectory, testDataset.GroundTruth)
+	if ateSloppy < atePrecise/2 {
+		t.Fatalf("sloppy tracking unexpectedly much better: %v vs %v", ateSloppy, atePrecise)
+	}
+}
+
+func TestComputeRatioReducesWork(t *testing.T) {
+	full := testConfig()
+	quarter := testConfig()
+	quarter.ComputeRatio = 2
+
+	rf, err := Run(testDataset, full, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rq, err := Run(testDataset, quarter, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rq.Counters.BilateralOps >= rf.Counters.BilateralOps/2 {
+		t.Fatalf("ratio 2 should quarter bilateral work: %d vs %d",
+			rq.Counters.BilateralOps, rf.Counters.BilateralOps)
+	}
+	if rq.Counters.TrackOps >= rf.Counters.TrackOps {
+		t.Fatal("ratio 2 should reduce tracking work")
+	}
+}
+
+func TestMuAffectsIntegrationWork(t *testing.T) {
+	narrow := testConfig()
+	narrow.Mu = 0.05
+	wide := testConfig()
+	wide.Mu = 0.4
+
+	rn, err := Run(testDataset, narrow, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw, err := Run(testDataset, wide, SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw.Counters.IntegrateActual <= rn.Counters.IntegrateActual {
+		t.Fatalf("wider mu must touch more voxels: %d vs %d",
+			rw.Counters.IntegrateActual, rn.Counters.IntegrateActual)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if _, err := Run(nil, testConfig(), SimOptions{}); err == nil {
+		t.Fatal("nil dataset accepted")
+	}
+	bad := testConfig()
+	bad.Mu = -1
+	if _, err := Run(testDataset, bad, SimOptions{}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	tooSmall := testConfig()
+	tooSmall.ComputeRatio = 64
+	if _, err := Run(testDataset, tooSmall, SimOptions{}); err == nil {
+		t.Fatal("degenerate compute ratio accepted")
+	}
+}
+
+func TestVolumeScaleReducesMemoryNotBilling(t *testing.T) {
+	cfg := testConfig()
+	r1, err := Run(testDataset, cfg, SimOptions{VolumeScale: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(testDataset, cfg, SimOptions{VolumeScale: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Counters.IntegrateFullSweep != r2.Counters.IntegrateFullSweep {
+		t.Fatal("billed integration work must not depend on VolumeScale")
+	}
+}
+
+func TestDeterministicRun(t *testing.T) {
+	a, err := Run(testDataset, testConfig(), SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(testDataset, testConfig(), SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Trajectory {
+		if a.Trajectory[i].T != b.Trajectory[i].T {
+			t.Fatal("run not deterministic")
+		}
+	}
+	if a.Counters != b.Counters {
+		t.Fatal("counters not deterministic")
+	}
+}
+
+func BenchmarkPipelineFrame(b *testing.B) {
+	cfg := testConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(testDataset, cfg, SimOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package kfusion implements the KinectFusion dense SLAM pipeline
+// (Newcombe et al., ISMAR 2011) as benchmarked by SLAMBench: bilateral
+// preprocessing, multi-scale projective-data-association ICP tracking, TSDF
+// integration and raycasting. All seven algorithmic parameters of the
+// paper's design space (§III-B) are exposed and per-kernel work counters
+// feed the device runtime models.
+package kfusion
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/imgproc"
+	"repro/internal/sensor"
+)
+
+// Config holds the algorithmic parameters of the paper's KFusion design
+// space (§III-B).
+type Config struct {
+	// VolumeResolution is the voxel count per volume side (64–256).
+	VolumeResolution int
+	// Mu is the TSDF truncation distance in meters.
+	Mu float64
+	// ComputeRatio is the fractional depth image resolution (1, 2, 4, 8).
+	ComputeRatio int
+	// TrackingRate localizes every TrackingRate-th frame.
+	TrackingRate int
+	// IntegrationRate fuses every IntegrationRate-th frame.
+	IntegrationRate int
+	// ICPThreshold stops ICP iterations once the pose update norm falls
+	// below it (larger = faster, less accurate).
+	ICPThreshold float64
+	// PyramidIters bounds ICP iterations per pyramid level, finest first.
+	PyramidIters [3]int
+}
+
+// DefaultConfig returns the expert defaults KFusion ships with (tuned by
+// the original developers on a desktop NVIDIA GPU, as the paper notes).
+func DefaultConfig() Config {
+	return Config{
+		VolumeResolution: 256,
+		Mu:               0.1,
+		ComputeRatio:     1,
+		TrackingRate:     1,
+		IntegrationRate:  2,
+		ICPThreshold:     1e-5,
+		PyramidIters:     [3]int{10, 5, 4},
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.VolumeResolution < 8:
+		return fmt.Errorf("kfusion: volume resolution %d too small", c.VolumeResolution)
+	case c.Mu <= 0:
+		return errors.New("kfusion: mu must be positive")
+	case c.ComputeRatio < 1:
+		return errors.New("kfusion: compute ratio must be ≥ 1")
+	case c.TrackingRate < 1 || c.IntegrationRate < 1:
+		return errors.New("kfusion: rates must be ≥ 1")
+	case c.ICPThreshold < 0:
+		return errors.New("kfusion: negative ICP threshold")
+	case c.PyramidIters[0] < 0 || c.PyramidIters[1] < 0 || c.PyramidIters[2] < 0:
+		return errors.New("kfusion: negative pyramid iterations")
+	}
+	return nil
+}
+
+// SimOptions controls the simulation substrate (not part of the paper's
+// design space).
+type SimOptions struct {
+	// VolumeScale divides the simulated voxel resolution: the runtime
+	// model is billed at Config.VolumeResolution but the in-memory volume
+	// uses VolumeResolution/VolumeScale voxels so that thousands of DSE
+	// evaluations stay tractable (DESIGN.md §1). 0 means 2.
+	VolumeScale int
+	// VolumeSize is the physical edge length in meters (0 = 5.4, sized to
+	// the living room).
+	VolumeSize float64
+	// VolumeCenter is the world-space volume center (zero value = room
+	// center at (0, 1.3, 0)).
+	VolumeCenter geom.Vec3
+	// MaxWeight caps the TSDF running average (0 = 100).
+	MaxWeight float32
+}
+
+func (s SimOptions) withDefaults() SimOptions {
+	if s.VolumeScale <= 0 {
+		s.VolumeScale = 2
+	}
+	if s.VolumeSize <= 0 {
+		s.VolumeSize = 5.4
+	}
+	if s.VolumeCenter == (geom.Vec3{}) {
+		s.VolumeCenter = geom.V3(0, 1.3, 0)
+	}
+	if s.MaxWeight <= 0 {
+		s.MaxWeight = 100
+	}
+	return s
+}
+
+// Counters accumulates per-kernel work over a run. Image-kernel counts are
+// in actual operations at the simulated resolution; IntegrateFullSweep is
+// the res³-per-integrated-frame figure the runtime model bills (the full
+// frustum sweep of the original CUDA/OpenCL kernels).
+type Counters struct {
+	ResizeOps          int64
+	BilateralOps       int64
+	PyramidOps         int64
+	TrackOps           int64
+	IntegrateFullSweep int64
+	IntegrateActual    int64
+	RaycastSteps       int64
+	Frames             int64
+	TrackedFrames      int64
+	IntegratedFrames   int64
+	TrackingFailures   int64
+}
+
+// Result is the output of one KFusion run.
+type Result struct {
+	// Trajectory holds the estimated camera-to-world pose per frame.
+	Trajectory []geom.Pose
+	Counters   Counters
+}
+
+// Run executes the full pipeline over the dataset.
+func Run(ds *sensor.Dataset, cfg Config, sim SimOptions) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if ds == nil || ds.NumFrames() == 0 {
+		return nil, errors.New("kfusion: empty dataset")
+	}
+	sim = sim.withDefaults()
+
+	simRes := cfg.VolumeResolution / sim.VolumeScale
+	if simRes < 16 {
+		simRes = 16
+	}
+	vol := NewVolume(simRes, sim.VolumeSize, sim.VolumeCenter)
+
+	res := &Result{Trajectory: make([]geom.Pose, ds.NumFrames())}
+	c := &res.Counters
+
+	intr := ds.Intrinsics.Scaled(cfg.ComputeRatio)
+	if intr.W < 4 || intr.H < 4 {
+		return nil, fmt.Errorf("kfusion: compute ratio %d leaves a %dx%d image", cfg.ComputeRatio, intr.W, intr.H)
+	}
+	levelIntr := [3]imgproc.Intrinsics{intr, intr.Halved(), intr.Halved().Halved()}
+
+	pose := ds.GroundTruth[0] // SLAMBench initializes from the dataset origin
+	var modelVertex, modelNormal *imgproc.VecMap
+	var modelPose geom.Pose
+
+	fullSweep := int64(cfg.VolumeResolution) * int64(cfg.VolumeResolution) * int64(cfg.VolumeResolution)
+
+	for i := 0; i < ds.NumFrames(); i++ {
+		c.Frames++
+
+		// --- Preprocessing: resize + bilateral filter ---
+		scaled, rops := imgproc.BlockAverage(ds.Frames[i].Depth, cfg.ComputeRatio)
+		c.ResizeOps += rops
+		filtered, bops := imgproc.BilateralFilter(scaled, 2, 1.5, 0.1)
+		c.BilateralOps += bops
+
+		// --- Pyramid construction + vertex/normal maps ---
+		levels := make([]icpLevel, 3)
+		depths := [3]*imgproc.Map{filtered, nil, nil}
+		for l := 1; l < 3; l++ {
+			d, pops := imgproc.HalfSampleDepth(depths[l-1], 0.05)
+			depths[l] = d
+			c.PyramidOps += pops
+		}
+		for l := 0; l < 3; l++ {
+			v := imgproc.DepthToVertex(depths[l], levelIntr[l])
+			n := imgproc.VertexToNormal(v)
+			c.PyramidOps += int64(depths[l].W * depths[l].H * 2)
+			levels[l] = icpLevel{vertex: v, normal: n}
+		}
+
+		// --- Tracking ---
+		if i > 0 && modelVertex != nil && (i%cfg.TrackingRate == 0) {
+			iters := []int{cfg.PyramidIters[0], cfg.PyramidIters[1], cfg.PyramidIters[2]}
+			newPose, tops, err := trackICP(
+				levels, modelVertex, modelNormal, intr, modelPose,
+				pose, iters, cfg.ICPThreshold,
+			)
+			c.TrackOps += tops
+			if err != nil {
+				c.TrackingFailures++
+				// Keep the previous pose (constant-position model).
+			} else {
+				pose = newPose
+				c.TrackedFrames++
+			}
+		}
+		res.Trajectory[i] = pose
+
+		// --- Integration ---
+		if i == 0 || i%cfg.IntegrationRate == 0 {
+			c.IntegrateActual += vol.Integrate(filtered, intr, pose, cfg.Mu, sim.MaxWeight)
+			c.IntegrateFullSweep += fullSweep
+			c.IntegratedFrames++
+		}
+
+		// --- Raycasting: the model reference for the next frame ---
+		mv, mn, steps := vol.Raycast(intr, pose, cfg.Mu, 0.3, 5.0)
+		c.RaycastSteps += steps
+		modelVertex, modelNormal, modelPose = mv, mn, pose
+	}
+	return res, nil
+}

@@ -1,0 +1,100 @@
+// Package par provides small, dependency-free parallel execution helpers
+// used throughout the repository: a bounded parallel-for over index ranges
+// and a work-stealing-free chunked variant for cache-friendly loops.
+//
+// All helpers preserve determinism of the computation they run: they only
+// parallelize across disjoint index ranges, so any function whose per-index
+// work is independent yields identical results regardless of GOMAXPROCS.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// MaxWorkers returns the number of workers the helpers use by default:
+// the current GOMAXPROCS setting.
+func MaxWorkers() int {
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs f(i) for every i in [0, n) using up to MaxWorkers goroutines.
+// Each index is dispatched individually; use ForChunked when per-index work
+// is tiny.
+func For(n int, f func(i int)) {
+	ForWorkers(n, MaxWorkers(), f)
+}
+
+// ForWorkers is For with an explicit worker count. workers <= 1 runs inline.
+func ForWorkers(n, workers int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForChunked splits [0, n) into contiguous chunks, one per worker, and runs
+// f(lo, hi) on each. It suits loops whose per-index cost is small and uniform
+// (image rows, voxel slabs).
+func ForChunked(n int, f func(lo, hi int)) {
+	workers := MaxWorkers()
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		f(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		go func(lo, hi int) {
+			defer wg.Done()
+			if lo < hi {
+				f(lo, hi)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Map applies f to every index in [0, n) in parallel and collects results
+// in order.
+func Map[T any](n int, f func(i int) T) []T {
+	out := make([]T, n)
+	For(n, func(i int) { out[i] = f(i) })
+	return out
+}

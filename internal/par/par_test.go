@@ -1,0 +1,97 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForVisitsEveryIndexOnce(t *testing.T) {
+	const n = 1000
+	var counts [n]int32
+	For(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	called := false
+	For(0, func(int) { called = true })
+	For(-5, func(int) { called = true })
+	if called {
+		t.Fatal("f called for empty range")
+	}
+}
+
+func TestForWorkersSingleWorkerIsSequential(t *testing.T) {
+	var order []int
+	ForWorkers(10, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if i != v {
+			t.Fatalf("sequential order broken at %d: %v", i, order)
+		}
+	}
+}
+
+func TestForChunkedCoversRangeExactly(t *testing.T) {
+	f := func(n uint8) bool {
+		size := int(n)
+		var covered atomic.Int64
+		seen := make([]int32, size)
+		ForChunked(size, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+				covered.Add(1)
+			}
+		})
+		if covered.Load() != int64(size) {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	got := Map(100, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(0, func(i int) int { return i }); len(got) != 0 {
+		t.Fatalf("Map(0) returned %d elements", len(got))
+	}
+}
+
+func BenchmarkForSmallBodies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var sum atomic.Int64
+		For(256, func(i int) { sum.Add(int64(i)) })
+	}
+}
+
+func BenchmarkForChunked(b *testing.B) {
+	buf := make([]float64, 1<<16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ForChunked(len(buf), func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				buf[j] = float64(j) * 0.5
+			}
+		})
+	}
+}

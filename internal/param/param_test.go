@@ -1,0 +1,306 @@
+package param
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testSpace(t *testing.T) *Space {
+	t.Helper()
+	s, err := NewSpace(
+		Levels("volume", 64, 128, 256),
+		Grid("mu", 0.05, 0.5, 4),
+		Bool("fast"),
+		LogGrid("threshold", 1e-6, 1, 7),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSpaceSize(t *testing.T) {
+	s := testSpace(t)
+	if got := s.Size(); got != 3*4*2*7 {
+		t.Fatalf("Size = %d, want %d", got, 3*4*2*7)
+	}
+	if s.Dim() != 4 {
+		t.Fatalf("Dim = %d", s.Dim())
+	}
+}
+
+func TestNewSpaceErrors(t *testing.T) {
+	if _, err := NewSpace(Parameter{Name: "x"}); err == nil {
+		t.Fatal("expected error for empty values")
+	}
+	if _, err := NewSpace(Parameter{Values: []float64{1}}); err == nil {
+		t.Fatal("expected error for empty name")
+	}
+	if _, err := NewSpace(Bool("a"), Bool("a")); err == nil {
+		t.Fatal("expected error for duplicate name")
+	}
+}
+
+func TestIndexRoundtrip(t *testing.T) {
+	s := testSpace(t)
+	for idx := int64(0); idx < s.Size(); idx++ {
+		cfg := s.AtIndex(idx)
+		back, err := s.IndexOf(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if back != idx {
+			t.Fatalf("roundtrip %d -> %v -> %d", idx, cfg, back)
+		}
+	}
+}
+
+func TestIndexRoundtripPropertyLargeSpace(t *testing.T) {
+	s := MustSpace(
+		Levels("a", 1, 2, 3, 4, 5),
+		Levels("b", 10, 20, 30, 40, 50, 60, 70),
+		Grid("c", 0, 1, 11),
+		Bool("d"),
+		LogGrid("e", 0.001, 1000, 13),
+	)
+	f := func(raw int64) bool {
+		idx := raw % s.Size()
+		if idx < 0 {
+			idx += s.Size()
+		}
+		cfg := s.AtIndex(idx)
+		back, err := s.IndexOf(cfg)
+		return err == nil && back == idx
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtIndexOutOfRangePanics(t *testing.T) {
+	s := testSpace(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.AtIndex(s.Size())
+}
+
+func TestIndexOfRejectsBadValues(t *testing.T) {
+	s := testSpace(t)
+	cfg := s.AtIndex(0)
+	cfg[0] = 100 // not an admissible volume level
+	if _, err := s.IndexOf(cfg); err == nil {
+		t.Fatal("expected error for inadmissible value")
+	}
+	if _, err := s.IndexOf(cfg[:2]); err == nil {
+		t.Fatal("expected error for wrong length")
+	}
+}
+
+func TestGetWithHelpers(t *testing.T) {
+	s := testSpace(t)
+	cfg := s.AtIndex(0)
+	if got := s.Get(cfg, "volume"); got != 64 {
+		t.Fatalf("Get(volume) = %v", got)
+	}
+	cfg2 := s.With(cfg, "volume", 130) // snaps to nearest admissible: 128
+	if got := s.Get(cfg2, "volume"); got != 128 {
+		t.Fatalf("With snapped to %v, want 128", got)
+	}
+	if s.Get(cfg, "volume") != 64 {
+		t.Fatal("With must not mutate its input")
+	}
+}
+
+func TestGetUnknownPanics(t *testing.T) {
+	s := testSpace(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown name")
+		}
+	}()
+	s.Get(s.AtIndex(0), "nope")
+}
+
+func TestSampleIndicesDistinct(t *testing.T) {
+	s := testSpace(t)
+	rng := rand.New(rand.NewSource(42))
+	n := 50
+	idxs := s.SampleIndices(rng, n)
+	if len(idxs) != n {
+		t.Fatalf("got %d samples", len(idxs))
+	}
+	seen := map[int64]bool{}
+	for _, idx := range idxs {
+		if seen[idx] {
+			t.Fatalf("duplicate index %d", idx)
+		}
+		if idx < 0 || idx >= s.Size() {
+			t.Fatalf("index %d out of range", idx)
+		}
+		seen[idx] = true
+	}
+}
+
+func TestSampleIndicesExhaustive(t *testing.T) {
+	s := MustSpace(Bool("a"), Bool("b"))
+	rng := rand.New(rand.NewSource(1))
+	idxs := s.SampleIndices(rng, 100) // more than the 4 configs
+	if len(idxs) != 4 {
+		t.Fatalf("got %d, want all 4", len(idxs))
+	}
+}
+
+func TestSampleUniformity(t *testing.T) {
+	// Each level of each parameter should appear with roughly equal
+	// frequency across a large sample.
+	s := testSpace(t)
+	rng := rand.New(rand.NewSource(7))
+	idxs := s.SampleIndices(rng, 100)
+	counts := map[float64]int{}
+	for _, idx := range idxs {
+		counts[s.Get(s.AtIndex(idx), "volume")]++
+	}
+	for _, lvl := range []float64{64, 128, 256} {
+		if counts[lvl] < 15 {
+			t.Fatalf("level %v sampled only %d/100 times", lvl, counts[lvl])
+		}
+	}
+}
+
+func TestEncodeLogScale(t *testing.T) {
+	s := testSpace(t)
+	cfg := s.AtIndex(0)
+	feat := s.EncodeNew(cfg)
+	if feat[0] != 64 || feat[2] != 0 {
+		t.Fatalf("feat = %v", feat)
+	}
+	wantLog := math.Log10(s.Get(cfg, "threshold"))
+	if math.Abs(feat[3]-wantLog) > 1e-12 {
+		t.Fatalf("log feature = %v, want %v", feat[3], wantLog)
+	}
+}
+
+func TestLogGridEndpoints(t *testing.T) {
+	p := LogGrid("t", 1e-6, 1e2, 9)
+	if p.Values[0] != 1e-6 || p.Values[8] != 1e2 {
+		t.Fatalf("endpoints = %v, %v", p.Values[0], p.Values[8])
+	}
+	for i := 1; i < len(p.Values); i++ {
+		if p.Values[i] <= p.Values[i-1] {
+			t.Fatal("LogGrid not increasing")
+		}
+	}
+}
+
+func TestGridValues(t *testing.T) {
+	p := Grid("g", 0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i, v := range want {
+		if math.Abs(p.Values[i]-v) > 1e-12 {
+			t.Fatalf("Grid = %v", p.Values)
+		}
+	}
+	single := Grid("s", 3, 9, 1)
+	if len(single.Values) != 1 || single.Values[0] != 3 {
+		t.Fatalf("Grid n=1 = %v", single.Values)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Ordinal.String() != "ordinal" || Boolean.String() != "boolean" ||
+		Real.String() != "real" || Categorical.String() != "categorical" {
+		t.Fatal("Kind.String broken")
+	}
+	if Kind(42).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+}
+
+func TestFormatConfig(t *testing.T) {
+	s := MustSpace(Levels("a", 1, 2), Bool("b"))
+	got := s.FormatConfig(Config{2, 1})
+	if got != "a=2 b=1" {
+		t.Fatalf("FormatConfig = %q", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := Config{1, 2, 3}
+	d := c.Clone()
+	d[0] = 9
+	if c[0] != 1 {
+		t.Fatal("Clone aliases input")
+	}
+}
+
+func TestPaperSpaceCardinalities(t *testing.T) {
+	// The KFusion space must have exactly 1,800,000 points and the
+	// ElasticFusion space "roughly 450,000" (we build 442,368): these are
+	// asserted again at the slambench layer, but the arithmetic is a param
+	// invariant worth pinning here.
+	kf := MustSpace(
+		Levels("volume", 64, 128, 256),
+		Grid("mu", 0.025, 0.5, 8),
+		Levels("ratio", 1, 2, 4, 8),
+		Levels("tracking-rate", 1, 2, 3, 4, 5),
+		Levels("integration-rate", 1, 2, 3, 4, 5),
+		LogGrid("icp-threshold", 1e-6, 1e-1, 6),
+		Levels("pyramid-l0", 2, 4, 6, 8, 10),
+		Levels("pyramid-l1", 2, 4, 6, 8, 10),
+		Levels("pyramid-l2", 2, 4, 6, 8, 10),
+	)
+	if kf.Size() != 1_800_000 {
+		t.Fatalf("KFusion-style space size = %d, want 1800000", kf.Size())
+	}
+	ef := MustSpace(
+		Grid("icp-weight", 0.5, 12, 24),
+		Grid("depth-cutoff", 0.5, 12, 24),
+		Grid("confidence", 0.5, 12, 24),
+		Bool("so3"),
+		Bool("open-loop"),
+		Bool("reloc"),
+		Bool("fast-odom"),
+		Bool("ftf-rgb"),
+	)
+	if ef.Size() != 442_368 {
+		t.Fatalf("EF-style space size = %d, want 442368", ef.Size())
+	}
+}
+
+func BenchmarkAtIndex(b *testing.B) {
+	s := MustSpace(
+		Levels("volume", 64, 128, 256),
+		Grid("mu", 0.025, 0.5, 8),
+		Levels("ratio", 1, 2, 4, 8),
+		Levels("tr", 1, 2, 3, 4, 5),
+		Levels("ir", 1, 2, 3, 4, 5),
+		LogGrid("icp", 1e-6, 1e-1, 6),
+		Levels("p0", 2, 4, 6, 8, 10),
+		Levels("p1", 2, 4, 6, 8, 10),
+		Levels("p2", 2, 4, 6, 8, 10),
+	)
+	cfg := make(Config, s.Dim())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.AtIndexInto(int64(i)%s.Size(), cfg)
+	}
+}
+
+func BenchmarkSampleIndices(b *testing.B) {
+	s := MustSpace(
+		Levels("a", 1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+		Levels("b", 1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+		Levels("c", 1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+		Levels("d", 1, 2, 3, 4, 5, 6, 7, 8, 9, 10),
+	)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		_ = s.SampleIndices(rng, 1000)
+	}
+}

@@ -1,0 +1,233 @@
+// Package pareto implements the multi-objective machinery of HyperMapper:
+// dominance tests, non-dominated (Pareto) filtering, front merging, the 2-D
+// hypervolume indicator, and the selectors used for dynamic adaptation
+// ("fastest configuration whose accuracy stays under the 5 cm limit").
+//
+// All objectives are minimized. Points carry the configuration index of the
+// design space they came from so fronts can be mapped back to parameter
+// settings.
+package pareto
+
+import (
+	"math"
+	"sort"
+)
+
+// Point is one evaluated configuration: its design-space index and its
+// objective vector (all objectives minimized).
+type Point struct {
+	ID   int64
+	Objs []float64
+}
+
+// Dominates reports whether objective vector a Pareto-dominates b: a is no
+// worse in every objective and strictly better in at least one. Vectors must
+// have equal length.
+func Dominates(a, b []float64) bool {
+	strictly := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strictly = true
+		}
+	}
+	return strictly
+}
+
+// Front returns the non-dominated subset of points. Duplicate objective
+// vectors are kept once (the first occurrence by ID order wins). The result
+// is sorted by the first objective, then the second, for deterministic
+// output.
+//
+// A 2-objective fast path runs in O(n log n); the general k-objective path
+// is the O(n²) pairwise filter, fine for the set sizes HyperMapper produces.
+func Front(points []Point) []Point {
+	if len(points) == 0 {
+		return nil
+	}
+	if len(points[0].Objs) == 2 {
+		return front2D(points)
+	}
+	return frontKD(points)
+}
+
+func front2D(points []Point) []Point {
+	sorted := append([]Point(nil), points...)
+	// Sort by (obj0, obj1, ID); the ID tiebreak makes duplicate handling
+	// deterministic.
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Objs[0] != b.Objs[0] {
+			return a.Objs[0] < b.Objs[0]
+		}
+		if a.Objs[1] != b.Objs[1] {
+			return a.Objs[1] < b.Objs[1]
+		}
+		return a.ID < b.ID
+	})
+	var out []Point
+	best1 := math.Inf(1)
+	lastKept := Point{Objs: []float64{math.Inf(-1), math.Inf(-1)}}
+	for _, p := range sorted {
+		if p.Objs[1] < best1 {
+			out = append(out, p)
+			best1 = p.Objs[1]
+			lastKept = p
+		} else if p.Objs[0] == lastKept.Objs[0] && p.Objs[1] == lastKept.Objs[1] && p.ID == lastKept.ID {
+			// Exact duplicate entry of the kept point: skip silently.
+			continue
+		}
+	}
+	return out
+}
+
+func frontKD(points []Point) []Point {
+	var out []Point
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if Dominates(q.Objs, p.Objs) {
+				dominated = true
+				break
+			}
+			// Duplicate objective vectors: keep only the first.
+			if j < i && equalObjs(q.Objs, p.Objs) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i].Objs {
+			if out[i].Objs[k] != out[j].Objs[k] {
+				return out[i].Objs[k] < out[j].Objs[k]
+			}
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+func equalObjs(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Merge returns the Pareto front of the union of a and b.
+func Merge(a, b []Point) []Point {
+	all := make([]Point, 0, len(a)+len(b))
+	all = append(all, a...)
+	all = append(all, b...)
+	return Front(all)
+}
+
+// Hypervolume2D returns the hypervolume indicator of a 2-objective front with
+// respect to reference point ref (both objectives minimized; ref must be
+// dominated by every front point for the result to be meaningful). Points at
+// or beyond the reference contribute nothing.
+func Hypervolume2D(front []Point, ref [2]float64) float64 {
+	f := front2D(front)
+	hv := 0.0
+	prevX := ref[0]
+	// front2D sorts ascending in obj0 and strictly descending in obj1; sweep
+	// from the right (largest obj0) to accumulate rectangles.
+	for i := len(f) - 1; i >= 0; i-- {
+		p := f[i]
+		x := math.Min(p.Objs[0], ref[0])
+		y := math.Min(p.Objs[1], ref[1])
+		w := prevX - x
+		h := ref[1] - y
+		if w > 0 && h > 0 {
+			hv += w * h
+		}
+		if x < prevX {
+			prevX = x
+		}
+	}
+	return hv
+}
+
+// Filter returns the points satisfying keep.
+func Filter(points []Point, keep func(Point) bool) []Point {
+	var out []Point
+	for _, p := range points {
+		if keep(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// CountValid returns how many points have Objs[obj] < bound — the paper's
+// "valid configurations" metric (max ATE < 5 cm).
+func CountValid(points []Point, obj int, bound float64) int {
+	n := 0
+	for _, p := range points {
+		if p.Objs[obj] < bound {
+			n++
+		}
+	}
+	return n
+}
+
+// BestBy returns the point minimizing objective obj, and false if points is
+// empty.
+func BestBy(points []Point, obj int) (Point, bool) {
+	if len(points) == 0 {
+		return Point{}, false
+	}
+	best := points[0]
+	for _, p := range points[1:] {
+		if p.Objs[obj] < best.Objs[obj] {
+			best = p
+		}
+	}
+	return best, true
+}
+
+// BestUnderConstraint returns the point minimizing objective obj among those
+// with Objs[cObj] < bound — e.g. "fastest configuration with max ATE under
+// 5 cm", the selection rule used for the crowd-sourced app and for dynamic
+// adaptation. ok is false if no point satisfies the constraint.
+func BestUnderConstraint(points []Point, obj, cObj int, bound float64) (best Point, ok bool) {
+	for _, p := range points {
+		if p.Objs[cObj] >= bound {
+			continue
+		}
+		if !ok || p.Objs[obj] < best.Objs[obj] {
+			best, ok = p, true
+		}
+	}
+	return best, ok
+}
+
+// Contains reports whether the front contains a point with the given ID.
+func Contains(points []Point, id int64) bool {
+	for _, p := range points {
+		if p.ID == id {
+			return true
+		}
+	}
+	return false
+}
+
+// IDs returns the configuration IDs of points, in order.
+func IDs(points []Point) []int64 {
+	out := make([]int64, len(points))
+	for i, p := range points {
+		out[i] = p.ID
+	}
+	return out
+}

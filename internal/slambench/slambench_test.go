@@ -1,0 +1,290 @@
+package slambench
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/geom"
+	"repro/internal/param"
+	"repro/internal/sensor"
+)
+
+func testKF(t testing.TB) *KFusionBench {
+	t.Helper()
+	return NewKFusionBench(CachedDataset("test"))
+}
+
+func testEF(t testing.TB) *ElasticFusionBench {
+	t.Helper()
+	return NewElasticFusionBench(CachedDataset("test"))
+}
+
+func TestATE(t *testing.T) {
+	gt := []geom.Pose{geom.IdentityPose(), {R: geom.Identity3(), T: geom.V3(1, 0, 0)}}
+	est := []geom.Pose{geom.IdentityPose(), {R: geom.Identity3(), T: geom.V3(1, 0.1, 0)}}
+	mean, max, err := ATE(est, gt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-0.05) > 1e-12 || math.Abs(max-0.1) > 1e-12 {
+		t.Fatalf("ATE = %v, %v", mean, max)
+	}
+	if _, _, err := ATE(est, gt[:1]); err == nil {
+		t.Fatal("length mismatch not detected")
+	}
+	if _, _, err := ATE(nil, nil); err == nil {
+		t.Fatal("empty trajectories not detected")
+	}
+}
+
+func TestSpaceCardinalities(t *testing.T) {
+	if got := KFusionSpace().Size(); got != 1_800_000 {
+		t.Fatalf("KFusion space = %d, want 1800000 (paper §III-B)", got)
+	}
+	if got := ElasticFusionSpace().Size(); got != 442_368 {
+		t.Fatalf("ElasticFusion space = %d, want 442368 (paper ≈450k, §III-C)", got)
+	}
+}
+
+func TestKFusionDefaultConfigDecodes(t *testing.T) {
+	b := testKF(t)
+	cfg := b.DefaultConfig()
+	kc := b.ToConfig(cfg)
+	if kc.VolumeResolution != 256 || kc.Mu != 0.1 || kc.ComputeRatio != 1 ||
+		kc.TrackingRate != 1 || kc.IntegrationRate != 2 ||
+		kc.ICPThreshold != 1e-5 || kc.PyramidIters != [3]int{10, 5, 4} {
+		t.Fatalf("default decoded to %+v", kc)
+	}
+}
+
+func TestEFDefaultConfigDecodes(t *testing.T) {
+	b := testEF(t)
+	ec := b.ToConfig(b.DefaultConfig())
+	if ec.ICPWeight != 10 || ec.DepthCutoff != 3 || ec.Confidence != 10 {
+		t.Fatalf("default decoded to %+v", ec)
+	}
+	if !ec.SO3 || ec.OpenLoop || !ec.Reloc || ec.FastOdom || ec.FrameToFrameRGB {
+		t.Fatalf("default flags decoded to %+v", ec)
+	}
+}
+
+func TestTableIRowsLieInSpace(t *testing.T) {
+	// The winning configurations of Table I (ICP 5/4/2/1, depth 6/10,
+	// confidence 9/4) must be expressible in our space grid.
+	s := ElasticFusionSpace()
+	for _, row := range [][3]float64{{5, 6, 9}, {4, 6, 9}, {2, 10, 4}, {1, 10, 4}} {
+		cfg := s.AtIndex(0)
+		cfg = s.With(cfg, EFICPWeight, row[0])
+		cfg = s.With(cfg, EFDepthCut, row[1])
+		cfg = s.With(cfg, EFConfidence, row[2])
+		if s.Get(cfg, EFICPWeight) != row[0] || s.Get(cfg, EFDepthCut) != row[1] ||
+			s.Get(cfg, EFConfidence) != row[2] {
+			t.Fatalf("Table I row %v not on the space grid", row)
+		}
+	}
+}
+
+func TestKFusionEvaluate(t *testing.T) {
+	b := testKF(t)
+	m, err := b.Evaluate(b.DefaultConfig(), device.ODROIDXU3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SecPerFrame <= 0 || m.FPS <= 0 || m.MaxATE < 0 {
+		t.Fatalf("metrics: %+v", m)
+	}
+	if m.MaxATE < m.MeanATE {
+		t.Fatal("max ATE below mean ATE")
+	}
+	if m.TotalSeconds != m.SecPerFrame*NominalFrames {
+		t.Fatal("total runtime inconsistent")
+	}
+	if b.Accuracy(m) != m.MaxATE {
+		t.Fatal("KFusion accuracy objective must be max ATE")
+	}
+	if m.PowerW <= 0 {
+		t.Fatal("power not modeled")
+	}
+}
+
+func TestEFEvaluate(t *testing.T) {
+	b := testEF(t)
+	m, err := b.Evaluate(b.DefaultConfig(), device.GTX780Ti())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.SecPerFrame <= 0 || m.MeanATE <= 0 {
+		t.Fatalf("metrics: %+v", m)
+	}
+	if b.Accuracy(m) != m.MeanATE {
+		t.Fatal("EF accuracy objective must be mean ATE")
+	}
+}
+
+func TestCheaperConfigIsFaster(t *testing.T) {
+	b := testKF(t)
+	s := b.Space()
+	dev := device.ODROIDXU3()
+	def := b.DefaultConfig()
+	cheap := s.With(def, KFVolume, 64)
+	cheap = s.With(cheap, KFRatio, 2)
+	cheap = s.With(cheap, KFIntegRate, 5)
+
+	md, err := b.Evaluate(def, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mc, err := b.Evaluate(cheap, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.SecPerFrame >= md.SecPerFrame/3 {
+		t.Fatalf("cheap config %.1fms not ≪ default %.1fms",
+			mc.SecPerFrame*1e3, md.SecPerFrame*1e3)
+	}
+}
+
+func TestCalibrationKFusionODROID(t *testing.T) {
+	// §IV-B: the default KFusion configuration runs at ≈ 6 FPS on the
+	// ODROID-XU3. The "test" dataset is smaller but work is rescaled to
+	// paper pixels, so the modeled FPS must stay in the band.
+	b := NewKFusionBench(CachedDataset("full"))
+	if testing.Short() {
+		t.Skip("full dataset evaluation in -short mode")
+	}
+	m, err := b.Evaluate(b.DefaultConfig(), device.ODROIDXU3())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FPS < 4.5 || m.FPS > 7.5 {
+		t.Fatalf("default KFusion on ODROID = %.2f FPS, want ≈6 (paper §IV-B)", m.FPS)
+	}
+}
+
+func TestCalibrationEFGTX(t *testing.T) {
+	// Table I: default ElasticFusion ≈ 22.2 s total, error ≈ 0.0558 m.
+	if testing.Short() {
+		t.Skip("full dataset evaluation in -short mode")
+	}
+	b := NewElasticFusionBench(CachedDataset("full"))
+	m, err := b.Evaluate(b.DefaultConfig(), device.GTX780Ti())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalSeconds < 18 || m.TotalSeconds > 27 {
+		t.Fatalf("default EF total = %.1f s, want ≈22.2 (Table I)", m.TotalSeconds)
+	}
+	if m.MeanATE < 0.02 || m.MeanATE > 0.10 {
+		t.Fatalf("default EF error = %.4f m, want ≈0.0558 band (Table I)", m.MeanATE)
+	}
+}
+
+func TestEvaluatorAdapterObjectives(t *testing.T) {
+	b := testKF(t)
+	dev := device.ODROIDXU3()
+	ev2 := Evaluator(b, dev, RuntimeAccuracy)
+	objs := ev2.Evaluate(b.DefaultConfig())
+	if len(objs) != 2 {
+		t.Fatalf("2-objective evaluator returned %d values", len(objs))
+	}
+	ev3 := Evaluator(b, dev, RuntimeAccuracyPower)
+	objs = ev3.Evaluate(b.DefaultConfig())
+	if len(objs) != 3 {
+		t.Fatalf("3-objective evaluator returned %d values", len(objs))
+	}
+	if RuntimeAccuracy.Count() != 2 || RuntimeAccuracyPower.Count() != 3 {
+		t.Fatal("Objectives.Count wrong")
+	}
+}
+
+func TestEvaluatorPenalizesBrokenConfigs(t *testing.T) {
+	// Ratio 8 on a 24×18 dataset leaves a 3×2 image — Run errors, and the
+	// evaluator must return a penalty vector, not crash.
+	tiny := sensor.Generate(sensor.Options{
+		Width: 24, Height: 18, Frames: 3,
+		Noise:      sensor.KinectNoise(1),
+		Trajectory: sensor.TrajectorySlice(sensor.LivingRoomTrajectory2, 100),
+	})
+	b := NewKFusionBench(tiny)
+	ev := Evaluator(b, device.ODROIDXU3(), RuntimeAccuracy)
+	bad := b.Space().With(b.DefaultConfig(), KFRatio, 8)
+	objs := ev.Evaluate(bad)
+	if objs[0] < 5 || objs[1] < 5 {
+		t.Fatalf("broken config not penalized: %v", objs)
+	}
+}
+
+func TestCachedDatasetSharing(t *testing.T) {
+	a := CachedDataset("test")
+	b := CachedDataset("test")
+	if a != b {
+		t.Fatal("cache returned different instances")
+	}
+	if a.Intrinsics.W != 80 {
+		t.Fatalf("test dataset width %d", a.Intrinsics.W)
+	}
+}
+
+func TestSmallDSEOnKFusion(t *testing.T) {
+	// End-to-end smoke test: a tiny HyperMapper run over the real KFusion
+	// space must produce a non-empty front of valid samples.
+	if testing.Short() {
+		t.Skip("DSE smoke test in -short mode")
+	}
+	b := testKF(t)
+	res, err := core.Run(b.Space(), Evaluator(b, device.ODROIDXU3(), RuntimeAccuracy), core.Options{
+		Objectives:    2,
+		RandomSamples: 12,
+		MaxIterations: 1,
+		MaxBatch:      6,
+		PoolCap:       3000,
+		Seed:          1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty front")
+	}
+	for _, p := range res.Front {
+		cfg := b.Space().AtIndex(p.ID)
+		if err := b.Space().Validate(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+var sinkMetrics Metrics
+
+func BenchmarkKFusionEvaluate(b *testing.B) {
+	bench := testKF(b)
+	dev := device.ODROIDXU3()
+	cfg := bench.Space().With(bench.DefaultConfig(), KFVolume, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := bench.Evaluate(cfg, dev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkMetrics = m
+	}
+}
+
+func BenchmarkEFEvaluate(b *testing.B) {
+	bench := testEF(b)
+	dev := device.GTX780Ti()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := bench.Evaluate(bench.DefaultConfig(), dev)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkMetrics = m
+	}
+}
+
+var _ param.Config // keep param import if assertions change
