@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 )
 
@@ -46,6 +47,10 @@ func main() {
 		Logf: func(format string, args ...any) {
 			fmt.Printf("  "+format+"\n", args...)
 		},
+		// Share evaluation memo-caches across the generators, so e.g.
+		// running figure 5 without figure 3a does not re-measure the
+		// ODROID exploration from scratch.
+		Caches: map[string]*core.EvalCache{},
 	}
 
 	start := time.Now()

@@ -9,11 +9,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"repro/internal/core"
 	"repro/internal/device"
@@ -39,6 +43,12 @@ func main() {
 		quiet      = flag.Bool("q", false, "suppress progress output")
 	)
 	flag.Parse()
+
+	// Install the interrupt handler before the (potentially slow) dataset
+	// and benchmark construction so Ctrl-C cancels cooperatively from the
+	// very start instead of killing the process outright.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	var bench slambench.Benchmark
 	switch *benchName {
@@ -66,7 +76,9 @@ func main() {
 	}
 	logf("exploring %s (%d configurations) on %s", bench.Name(), bench.Space().Size(), dev)
 
-	res, err := core.Run(bench.Space(), slambench.Evaluator(bench, dev, objs), core.Options{
+	// Ctrl-C cancels the exploration cooperatively: the engine stops at the
+	// next phase boundary and we still report the partial front.
+	res, err := core.RunContext(ctx, bench.Space(), slambench.Evaluator(bench, dev, objs), core.Options{
 		Objectives:    objs.Count(),
 		RandomSamples: *randomN,
 		MaxIterations: *iterations,
@@ -76,12 +88,18 @@ func main() {
 		Seed:          *seed,
 		Logf:          logf,
 	})
-	if err != nil {
+	// Release the signal handler: a second Ctrl-C during the reporting
+	// phase should kill the process, not be swallowed.
+	stop()
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "hypermapper: interrupted — reporting partial results")
+	} else if err != nil {
 		fatalf("%v", err)
 	}
 
+	nAL := len(res.ActiveSamples())
 	fmt.Printf("\nsamples: %d (%d random + %d active learning), front: %d points, converged: %v\n",
-		len(res.Samples), *randomN, len(res.ActiveSamples()), len(res.Front), res.Converged)
+		len(res.Samples), len(res.Samples)-nAL, nAL, len(res.Front), res.Converged)
 	for _, it := range res.Iterations {
 		fmt.Printf("  iteration %d: predicted front %d, new samples %d, measured front %d\n",
 			it.Iteration, it.PredictedFrontSize, it.NewSamples, it.FrontSize)

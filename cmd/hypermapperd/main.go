@@ -1,0 +1,131 @@
+// Command hypermapperd is the HyperMapper daemon: it serves concurrent
+// design-space-exploration sessions over a JSON REST API, one problem per
+// benchmark × platform pair, with a shared evaluation memo-cache per
+// problem. See internal/server for the endpoint list.
+//
+// Usage:
+//
+//	hypermapperd -addr :8089
+//	curl -s localhost:8089/problems
+//	curl -s -X POST localhost:8089/runs -d '{"problem":"kfusion/ODROID-XU3","seed":1,"random_samples":60,"max_iterations":2}'
+//	curl -s localhost:8089/runs/run-000001
+//	curl -s localhost:8089/runs/run-000001/events     # NDJSON progress stream
+//	curl -s localhost:8089/runs/run-000001/front
+//	curl -s -X DELETE localhost:8089/runs/run-000001  # cancel
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/param"
+	"repro/internal/server"
+	"repro/internal/slambench"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":8089", "listen address")
+		scale = flag.String("dataset", "dse", "dataset scale: full, dse, or test")
+		power = flag.Bool("power", false, "add power as a third objective")
+	)
+	flag.Parse()
+
+	mgr := server.NewManager(buildProblems(*scale, *power)...)
+
+	srv := &http.Server{Addr: *addr, Handler: mgr.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("hypermapperd: listening on %s (%d problems)\n", *addr, len(mgr.Problems()))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		// Release the handler so a second signal kills the process
+		// instead of being swallowed during the drain below.
+		stop()
+		fmt.Println("hypermapperd: shutting down")
+	case err := <-errc:
+		fatalf("%v", err)
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	// Cancel sessions first: open /events streams only close when their
+	// session reaches a terminal state, so draining HTTP before the
+	// manager would stall on any connected progress stream.
+	if err := mgr.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "hypermapperd: sessions still draining: %v\n", err)
+	}
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "hypermapperd: http shutdown: %v\n", err)
+	}
+}
+
+// buildProblems registers one problem per benchmark × platform pair plus a
+// cheap synthetic problem for smoke-testing a deployment.
+func buildProblems(scale string, power bool) []server.Problem {
+	objs, names := slambench.RuntimeAccuracy, []string{"runtime_s_per_frame", "accuracy_ate_m"}
+	if power {
+		objs, names = slambench.RuntimeAccuracyPower, append(names, "power_w")
+	}
+	ds := slambench.CachedDataset(scale)
+	benches := []slambench.Benchmark{
+		slambench.NewKFusionBench(ds),
+		slambench.NewElasticFusionBench(ds),
+	}
+	var out []server.Problem
+	for _, b := range benches {
+		for _, dev := range device.Platforms() {
+			out = append(out, server.Problem{
+				Name:        b.Name() + "/" + dev.Name,
+				Description: fmt.Sprintf("%s on %s (%s dataset)", b.Name(), dev.Name, scale),
+				Space:       b.Space(),
+				Eval:        slambench.Evaluator(b, dev, objs),
+				Objectives:  names,
+			})
+		}
+	}
+	out = append(out, syntheticProblem())
+	return out
+}
+
+// syntheticProblem is a dataset-free two-objective toy space, useful for
+// exercising the service without paying for SLAM evaluations.
+func syntheticProblem() server.Problem {
+	space := param.MustSpace(
+		param.Grid("a", 0, 4, 40),
+		param.Grid("b", 0, 4, 40),
+		param.Levels("c", 1, 2, 3),
+	)
+	eval := core.EvaluatorFunc(func(cfg param.Config) []float64 {
+		a, b, c := cfg[0], cfg[1], cfg[2]
+		return []float64{
+			a + 0.5*math.Sin(3*b) + 0.05*c + 1.5,
+			b + 0.5*math.Cos(2*a) + 1.5,
+		}
+	})
+	return server.Problem{
+		Name:        "synthetic",
+		Description: "dataset-free two-objective toy space for smoke tests",
+		Space:       space,
+		Eval:        eval,
+		Objectives:  []string{"f0", "f1"},
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hypermapperd: "+format+"\n", args...)
+	os.Exit(1)
+}

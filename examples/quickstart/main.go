@@ -1,9 +1,11 @@
 // Quickstart: tune a synthetic two-objective function with HyperMapper in
-// ~60 lines — define a design space, provide an evaluator, run Algorithm 1,
-// and read the Pareto front.
+// ~60 lines — define a design space, provide an evaluator, run Algorithm 1
+// through the async engine API, and read the Pareto front. A second run
+// over the same space is served entirely from the evaluation memo-cache.
 package main
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -31,12 +33,15 @@ func main() {
 		return []float64{runtime, energy}
 	})
 
-	res, err := core.Run(space, eval, core.Options{
+	cache := core.NewEvalCache()
+	opts := core.Options{
 		Objectives:    2,
 		RandomSamples: 40,
 		MaxIterations: 4,
 		Seed:          1,
-	})
+		Cache:         cache,
+	}
+	res, err := core.RunContext(context.Background(), space, eval, opts)
 	if err != nil {
 		panic(err)
 	}
@@ -48,4 +53,14 @@ func main() {
 		fmt.Printf("  runtime %5.2f  energy %5.2f   %s\n",
 			s.Objs[0], s.Objs[1], space.FormatConfig(s.Config))
 	}
+
+	// Re-running the exploration hits the memo-cache instead of the
+	// evaluator: this is what lets a long-running service share
+	// measurements across sessions over the same space.
+	res2, err := core.RunContext(context.Background(), space, eval, opts)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nsecond run: %d/%d evaluations served from cache (%d stored)\n",
+		res2.CacheHits, len(res2.Samples), cache.Len())
 }

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/param"
+)
+
+// EvalCache memoizes evaluator results keyed by design-space index so that
+// repeated explorations of the same (space, evaluator) pair skip
+// re-measurement. It is safe for concurrent use and may be shared across
+// any number of simultaneous Run/RunContext calls; concurrent runs that
+// miss on the same configuration are deduplicated in flight, so each
+// configuration is measured once no matter how many sessions want it.
+//
+// Entries are namespaced by a fingerprint of the design space's parameter
+// grid, so concurrent or sequential runs over different spaces are fully
+// isolated from each other — an index in one space can never be served
+// another space's objectives. The evaluator itself cannot be
+// fingerprinted: reusing one cache across different evaluators over the
+// same space (e.g. the same benchmark on two devices) would conflate their
+// measurements, so keep one cache per (space, evaluator) pair.
+type EvalCache struct {
+	mu     sync.Mutex
+	spaces map[string]*spaceCache
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// spaceCache is one space's namespace: memoized objectives plus the
+// in-flight evaluations being computed right now.
+type spaceCache struct {
+	objs     map[int64][]float64
+	inflight map[int64]chan struct{}
+}
+
+// NewEvalCache returns an empty cache.
+func NewEvalCache() *EvalCache {
+	return &EvalCache{spaces: make(map[string]*spaceCache)}
+}
+
+// spaceFingerprint identifies a design space by its parameter names and
+// grids, so a cache cannot serve index-keyed results across unrelated
+// spaces.
+func spaceFingerprint(space *param.Space, objectives int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "objs=%d;size=%d", objectives, space.Size())
+	for _, p := range space.Params() {
+		fmt.Fprintf(&b, ";%s=%v", p.Name, p.Values)
+	}
+	return b.String()
+}
+
+// evalCacheView is a cache handle bound to one space namespace; the engine
+// obtains one per run so every lookup and store lands in the right space.
+type evalCacheView struct {
+	c *EvalCache
+	s *spaceCache
+}
+
+// view returns the handle for the given space fingerprint, creating the
+// namespace on first use.
+func (c *EvalCache) view(fingerprint string) *evalCacheView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.spaces[fingerprint]
+	if !ok {
+		s = &spaceCache{
+			objs:     make(map[int64][]float64),
+			inflight: make(map[int64]chan struct{}),
+		}
+		c.spaces[fingerprint] = s
+	}
+	return &evalCacheView{c: c, s: s}
+}
+
+// fetch returns the memoized objectives for idx, or computes them via fn.
+// Concurrent fetches of the same index are deduplicated: one caller runs
+// fn while the others wait for its result (or for ctx cancellation). hit
+// reports whether the value came from the cache rather than this caller's
+// own fn run. The returned slice is always a private copy.
+func (v *evalCacheView) fetch(ctx context.Context, idx int64, fn func() []float64) (objs []float64, hit bool, err error) {
+	for {
+		v.c.mu.Lock()
+		if cached, ok := v.s.objs[idx]; ok {
+			cp := append([]float64(nil), cached...)
+			v.c.mu.Unlock()
+			v.c.hits.Add(1)
+			return cp, true, nil
+		}
+		wait, inflight := v.s.inflight[idx]
+		if !inflight {
+			done := make(chan struct{})
+			v.s.inflight[idx] = done
+			v.c.mu.Unlock()
+			v.c.misses.Add(1)
+			// Leader: even if fn panics, release the waiters so they can
+			// take over rather than hang.
+			stored := ([]float64)(nil)
+			defer func() {
+				v.c.mu.Lock()
+				if stored != nil {
+					v.s.objs[idx] = stored
+				}
+				delete(v.s.inflight, idx)
+				v.c.mu.Unlock()
+				close(done)
+			}()
+			out := fn()
+			stored = append([]float64(nil), out...)
+			return append([]float64(nil), out...), false, nil
+		}
+		v.c.mu.Unlock()
+		select {
+		case <-wait:
+			// The leader stored the value (loop will hit the cache) or
+			// aborted (loop elects a new leader).
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+}
+
+// Hits returns the number of lookups served from memoized entries.
+func (c *EvalCache) Hits() int64 { return c.hits.Load() }
+
+// Misses returns the number of lookups that had to evaluate.
+func (c *EvalCache) Misses() int64 { return c.misses.Load() }
+
+// Len returns the number of memoized configurations across all spaces.
+func (c *EvalCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, s := range c.spaces {
+		n += len(s.objs)
+	}
+	return n
+}

@@ -16,10 +16,12 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/forest"
 	"repro/internal/par"
@@ -68,8 +70,25 @@ type Options struct {
 	Workers int
 	// Logf, when non-nil, receives one progress line per phase.
 	Logf func(format string, args ...any)
+	// Cache, when non-nil, memoizes evaluator results across runs over the
+	// same (space, evaluator) pair; see EvalCache. Hit/miss counts are
+	// surfaced in IterationStats and Result.
+	Cache *EvalCache
+	// OnIteration, when non-nil, receives the statistics of every phase as
+	// it completes: first the bootstrap (Iteration 0), then each
+	// active-learning round. It is called from the run's goroutine;
+	// implementations should return quickly.
+	OnIteration func(IterationStats)
+
+	// cache is the run's space-bound view of Cache, set by RunContext.
+	cache *evalCacheView
 }
 
+// withDefaults fills every optional field so a zero-valued Options (apart
+// from the required Objectives) yields a working run: a non-positive
+// MaxBatch would stall the loop at zero new evaluations per iteration and a
+// non-positive PoolCap would empty the prediction pool, so both are
+// defaulted alongside the sampling and worker budgets.
 func (o Options) withDefaults() Options {
 	if o.RandomSamples <= 0 {
 		o.RandomSamples = 200
@@ -115,6 +134,10 @@ type IterationStats struct {
 	TotalSamples       int       // |X_out| after the round
 	FrontSize          int       // measured front size after the round
 	OOBError           []float64 // per-objective forest OOB MSE
+	// CacheHits/CacheMisses count evaluator memo-cache lookups for this
+	// round's batch (both zero when Options.Cache is nil).
+	CacheHits   int
+	CacheMisses int
 }
 
 // Result is the outcome of a HyperMapper run.
@@ -136,6 +159,10 @@ type Result struct {
 	// Converged reports whether the loop stopped because P − X_out = ∅
 	// rather than by exhausting MaxIterations.
 	Converged bool
+	// CacheHits/CacheMisses total the evaluator memo-cache lookups across
+	// the whole run, bootstrap included (zero when Options.Cache is nil).
+	CacheHits   int
+	CacheMisses int
 }
 
 // ByIndex returns the sample with the given design-space index, if present.
@@ -159,8 +186,21 @@ func (r *Result) ActiveSamples() []Sample {
 	return out
 }
 
-// Run executes Algorithm 1 on the given space and evaluator.
+// Run executes Algorithm 1 on the given space and evaluator. It is a thin
+// wrapper over RunContext with a background context.
 func Run(space *param.Space, eval Evaluator, opts Options) (*Result, error) {
+	return RunContext(context.Background(), space, eval, opts)
+}
+
+// RunContext executes Algorithm 1 with cooperative cancellation: the
+// context is checked after the bootstrap, around every forest fit, and
+// before and inside every evaluation batch. On cancellation it returns the
+// partial result accumulated so far together with the context's error, so
+// callers can inspect or persist what an interrupted exploration did find.
+// Evaluations that completed inside an interrupted batch are retained —
+// measurements are too expensive to discard — with fronts recomputed over
+// everything measured.
+func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Options) (*Result, error) {
 	if space == nil || space.Size() == 0 {
 		return nil, errors.New("core: empty design space")
 	}
@@ -171,10 +211,17 @@ func Run(space *param.Space, eval Evaluator, opts Options) (*Result, error) {
 		return nil, errors.New("core: Objectives must be ≥ 1")
 	}
 	o := opts.withDefaults()
+	if o.Cache != nil {
+		o.cache = o.Cache.view(spaceFingerprint(space, o.Objectives))
+	}
 	rng := rand.New(rand.NewSource(o.Seed))
 
 	res := &Result{}
 	evaluated := make(map[int64]int) // space index → position in res.Samples
+	finish := func(err error) (*Result, error) {
+		res.Front = measuredFront(res.Samples)
+		return res, err
+	}
 
 	// ---- Random sampling bootstrap (X_out ← rs samples) ----
 	n := o.RandomSamples
@@ -183,20 +230,38 @@ func Run(space *param.Space, eval Evaluator, opts Options) (*Result, error) {
 	}
 	bootstrap := space.SampleIndices(rng, n)
 	o.logf("random sampling: evaluating %d configurations", len(bootstrap))
-	batch := evaluateBatch(space, eval, bootstrap, o.Workers)
+	batch, hits, misses, err := evaluateBatch(ctx, space, eval, bootstrap, o)
+	res.CacheHits += hits
+	res.CacheMisses += misses
 	for _, s := range batch {
 		s.Iteration = 0
 		res.Samples = append(res.Samples, s)
 		evaluated[s.Index] = len(res.Samples) - 1
 	}
 	res.RandomFront = measuredFront(res.Samples)
+	if err != nil {
+		return finish(err)
+	}
 	o.logf("random sampling: front size %d", len(res.RandomFront))
+	o.onIteration(IterationStats{
+		NewSamples:   len(batch),
+		TotalSamples: len(res.Samples),
+		FrontSize:    len(res.RandomFront),
+		CacheHits:    hits,
+		CacheMisses:  misses,
+	})
 
 	// ---- Active learning loop ----
 	dim := space.Dim()
 	for iter := 1; iter <= o.MaxIterations; iter++ {
-		forests, oob, err := fitForests(space, res.Samples, o, iter)
+		if err := ctx.Err(); err != nil {
+			return finish(err)
+		}
+		forests, oob, err := fitForests(ctx, space, res.Samples, o, iter)
 		if err != nil {
+			if ctx.Err() != nil {
+				return finish(ctx.Err())
+			}
 			return nil, err
 		}
 		res.Forests = forests
@@ -242,32 +307,43 @@ func Run(space *param.Space, eval Evaluator, opts Options) (*Result, error) {
 
 		if len(todo) == 0 {
 			res.Converged = true
-			res.Iterations = append(res.Iterations, IterationStats{
+			stats := IterationStats{
 				Iteration:          iter,
 				PredictedFrontSize: len(predicted),
 				TotalSamples:       len(res.Samples),
 				FrontSize:          len(measuredFront(res.Samples)),
 				OOBError:           oob,
-			})
+			}
+			res.Iterations = append(res.Iterations, stats)
+			o.onIteration(stats)
 			break
 		}
 
-		newSamples := evaluateBatch(space, eval, todo, o.Workers)
+		newSamples, hits, misses, err := evaluateBatch(ctx, space, eval, todo, o)
+		res.CacheHits += hits
+		res.CacheMisses += misses
 		for _, s := range newSamples {
 			s.ActiveLearning = true
 			s.Iteration = iter
 			res.Samples = append(res.Samples, s)
 			evaluated[s.Index] = len(res.Samples) - 1
 		}
+		if err != nil {
+			return finish(err)
+		}
 		front := measuredFront(res.Samples)
-		res.Iterations = append(res.Iterations, IterationStats{
+		stats := IterationStats{
 			Iteration:          iter,
 			PredictedFrontSize: len(predicted),
 			NewSamples:         len(newSamples),
 			TotalSamples:       len(res.Samples),
 			FrontSize:          len(front),
 			OOBError:           oob,
-		})
+			CacheHits:          hits,
+			CacheMisses:        misses,
+		}
+		res.Iterations = append(res.Iterations, stats)
+		o.onIteration(stats)
 	}
 
 	res.Front = measuredFront(res.Samples)
@@ -275,49 +351,118 @@ func Run(space *param.Space, eval Evaluator, opts Options) (*Result, error) {
 	return res, nil
 }
 
+func (o Options) onIteration(stats IterationStats) {
+	if o.OnIteration != nil {
+		o.OnIteration(stats)
+	}
+}
+
 // evaluateBatch measures the given configuration indices in parallel,
-// returning samples in the order of idxs.
-func evaluateBatch(space *param.Space, eval Evaluator, idxs []int64, workers int) []Sample {
+// returning samples in the order of idxs plus the memo-cache hit/miss
+// counts for the batch. Cancellation is checked before each evaluation;
+// once the context is done no further evaluator calls start, and only the
+// evaluations that did complete are returned (measurements are expensive —
+// an interrupted batch must not throw finished ones away).
+func evaluateBatch(ctx context.Context, space *param.Space, eval Evaluator, idxs []int64, o Options) ([]Sample, int, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, 0, err
+	}
 	out := make([]Sample, len(idxs))
-	par.ForWorkers(len(idxs), workers, func(i int) {
-		cfg := space.AtIndex(idxs[i])
+	var hits, misses atomic.Int64
+	par.ForWorkers(len(idxs), o.Workers, func(i int) {
+		if ctx.Err() != nil {
+			return
+		}
+		idx := idxs[i]
+		cfg := space.AtIndex(idx)
+		if o.cache != nil {
+			objs, hit, err := o.cache.fetch(ctx, idx, func() []float64 {
+				return eval.Evaluate(cfg)
+			})
+			if err != nil {
+				return // cancelled while waiting on another run's evaluation
+			}
+			if hit {
+				hits.Add(1)
+			} else {
+				misses.Add(1)
+			}
+			out[i] = Sample{Index: idx, Config: cfg, Objs: objs}
+			return
+		}
 		objs := eval.Evaluate(cfg)
 		out[i] = Sample{
-			Index:  idxs[i],
+			Index:  idx,
 			Config: cfg,
 			Objs:   append([]float64(nil), objs...),
 		}
 	})
-	return out
+	if err := ctx.Err(); err != nil {
+		completed := make([]Sample, 0, len(out))
+		for _, s := range out {
+			if s.Objs != nil {
+				completed = append(completed, s)
+			}
+		}
+		return completed, int(hits.Load()), int(misses.Load()), err
+	}
+	return out, int(hits.Load()), int(misses.Load()), nil
 }
 
-// fitForests trains one regressor per objective on all samples so far.
-func fitForests(space *param.Space, samples []Sample, o Options, iter int) ([]*forest.Forest, []float64, error) {
+// fitForests trains one regressor per objective on all samples so far. The
+// per-objective fits are independent and run in parallel, with the worker
+// budget split between them so the tree-level parallelism inside each
+// forest.Fit does not oversubscribe the machine by a factor of Objectives.
+// Cancellation is checked before each fit starts.
+func fitForests(ctx context.Context, space *param.Space, samples []Sample, o Options, iter int) ([]*forest.Forest, []float64, error) {
 	dim := space.Dim()
 	x := make([][]float64, len(samples))
 	for i, s := range samples {
+		if len(s.Objs) != o.Objectives {
+			return nil, nil, fmt.Errorf("core: evaluator returned %d objectives, want %d", len(s.Objs), o.Objectives)
+		}
 		row := make([]float64, dim)
 		space.Encode(s.Config, row)
 		x[i] = row
 	}
+	// Forest.Workers (or, unset, the run's Workers) bounds the TOTAL
+	// tree-fitting parallelism; divide it across the concurrent
+	// per-objective fits.
+	totalFitWorkers := o.Forest.Workers
+	if totalFitWorkers <= 0 {
+		totalFitWorkers = o.Workers
+	}
+	innerWorkers := (totalFitWorkers + o.Objectives - 1) / o.Objectives
+	if innerWorkers < 1 {
+		innerWorkers = 1
+	}
 	forests := make([]*forest.Forest, o.Objectives)
 	oob := make([]float64, o.Objectives)
-	for k := 0; k < o.Objectives; k++ {
+	errs := make([]error, o.Objectives)
+	par.ForWorkers(o.Objectives, o.Workers, func(k int) {
+		if err := ctx.Err(); err != nil {
+			errs[k] = err
+			return
+		}
 		y := make([]float64, len(samples))
 		for i, s := range samples {
-			if len(s.Objs) != o.Objectives {
-				return nil, nil, fmt.Errorf("core: evaluator returned %d objectives, want %d", len(s.Objs), o.Objectives)
-			}
 			y[i] = s.Objs[k]
 		}
 		fo := o.Forest
+		fo.Workers = innerWorkers
 		fo.Seed = o.Seed + int64(k)*7_919 + int64(iter)*104_729
 		f, err := forest.Fit(x, y, fo)
 		if err != nil {
-			return nil, nil, err
+			errs[k] = err
+			return
 		}
 		forests[k] = f
 		oob[k] = f.OOBError()
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	return forests, oob, nil
 }
@@ -339,12 +484,17 @@ func predictionPool(space *param.Space, rng *rand.Rand, poolCap int, evaluated m
 	for _, idx := range pool {
 		seen[idx] = struct{}{}
 	}
+	// Append the evaluated indices in sorted order: ranging over the map
+	// directly would make pool order — and therefore tie-breaking in the
+	// predicted front — vary across runs with an identical seed.
+	extra := make([]int64, 0, len(evaluated))
 	for idx := range evaluated {
 		if _, dup := seen[idx]; !dup {
-			pool = append(pool, idx)
+			extra = append(extra, idx)
 		}
 	}
-	return pool
+	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+	return append(pool, extra...)
 }
 
 // measuredFront computes the Pareto front of the measured samples.
@@ -360,6 +510,9 @@ func measuredFront(samples []Sample) []pareto.Point {
 // predicted-front order, which front construction sorts by the first
 // objective, so even striding preserves coverage along the front).
 func thin(idxs []int64, n int) []int64 {
+	if n <= 0 {
+		return nil
+	}
 	if len(idxs) <= n {
 		return idxs
 	}

@@ -48,6 +48,11 @@ type DSEResult struct {
 	// AccuracyGainVsDefault is DefaultAccuracy / BestAccuracy accuracy
 	// (Table I: 2.07× for ElasticFusion).
 	AccuracyGainVsDefault float64
+
+	// CacheHits/CacheMisses report evaluator memo-cache traffic when the
+	// exploration ran with a shared cache (both zero otherwise).
+	CacheHits   int
+	CacheMisses int
 }
 
 // runDSE executes one exploration and derives the figure statistics.
@@ -57,6 +62,7 @@ func runDSE(opts Options, bench slambench.Benchmark, dev device.Model) (*DSEResu
 	eval := slambench.Evaluator(bench, dev, slambench.RuntimeAccuracy)
 
 	budget := opts.dseBudget(bench.Name() == "elasticfusion")
+	budget.Cache = opts.cacheFor(bench.Name(), dev.Name)
 	run, err := core.Run(space, eval, budget)
 	if err != nil {
 		return nil, err
@@ -75,6 +81,8 @@ func runDSE(opts Options, bench slambench.Benchmark, dev device.Model) (*DSEResu
 		DefaultRuntime:  defM.SecPerFrame,
 		DefaultAccuracy: bench.Accuracy(defM),
 		FrontSize:       len(run.Front),
+		CacheHits:       run.CacheHits,
+		CacheMisses:     run.CacheMisses,
 	}
 	for _, s := range run.Samples {
 		if s.Objs[1] < slambench.AccuracyLimit {
@@ -173,6 +181,9 @@ func (r *DSEResult) Render(w io.Writer) {
 		}, 68, 20, "runtime (s/frame)", "ATE (m)")
 	fprintfIgnore(w, "valid configs (<%.2gm): random %d, active-learning %d; front size %d\n",
 		slambench.AccuracyLimit, r.ValidRandom, r.ValidAL, r.FrontSize)
+	if r.CacheHits+r.CacheMisses > 0 {
+		fprintfIgnore(w, "evaluation cache: %d hits, %d misses\n", r.CacheHits, r.CacheMisses)
+	}
 	if r.BestValidSpeed != nil {
 		fprintfIgnore(w, "default %.3fs/frame -> best valid %.3fs/frame: speedup %.2fx (accuracy %.4fm)\n",
 			r.DefaultRuntime, r.BestValidSpeed.Objs[0], r.SpeedupVsDefault, r.BestValidSpeed.Objs[1])

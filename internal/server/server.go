@@ -1,0 +1,588 @@
+// Package server lifts the HyperMapper engine into a long-running service:
+// a session manager that launches, monitors, and cancels concurrent
+// design-space explorations behind a JSON REST API. This is the
+// infrastructure the paper's crowd-sourcing experiment (Fig. 5) implies —
+// many users sharing one exploration service — and the first step toward
+// the roadmap's heavy-traffic deployment.
+//
+// Endpoints:
+//
+//	GET    /problems         list the registered optimization problems
+//	POST   /runs             start a DSE session           → 201 + status
+//	GET    /runs             list sessions
+//	GET    /runs/{id}        poll one session's status and progress
+//	GET    /runs/{id}/front  fetch the (partial or final) Pareto front
+//	GET    /runs/{id}/events stream per-iteration progress as NDJSON
+//	DELETE /runs/{id}        cancel a running session
+//
+// Sessions over the same problem share one evaluator memo-cache, so
+// repeated explorations of a space skip re-measurement.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/param"
+)
+
+// Problem is one named optimization target: a design space plus an
+// evaluator. Evaluators must be safe for concurrent use; one problem can
+// back many simultaneous sessions.
+type Problem struct {
+	Name        string
+	Description string
+	Space       *param.Space
+	Eval        core.Evaluator
+	// Objectives names the evaluator's outputs, in order; its length is
+	// the objective count passed to the engine.
+	Objectives []string
+}
+
+// State enumerates a session's lifecycle.
+type State string
+
+const (
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateCancelled State = "cancelled"
+	StateFailed    State = "failed"
+)
+
+// Terminal reports whether no further progress events can arrive.
+func (s State) Terminal() bool { return s != StateRunning }
+
+// RunRequest is the POST /runs body. Zero-valued budget fields select the
+// engine defaults.
+type RunRequest struct {
+	Problem       string `json:"problem"`
+	Seed          int64  `json:"seed"`
+	RandomSamples int    `json:"random_samples,omitempty"`
+	MaxIterations int    `json:"max_iterations,omitempty"`
+	MaxBatch      int    `json:"max_batch,omitempty"`
+	PoolCap       int    `json:"pool_cap,omitempty"`
+	Trees         int    `json:"trees,omitempty"`
+	Workers       int    `json:"workers,omitempty"`
+	// NoCache opts this session out of the problem's shared memo-cache
+	// (e.g. when the evaluator is noisy and fresh measurements matter).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// IterationEvent is one progress record: the bootstrap (iteration 0) or an
+// active-learning round.
+type IterationEvent struct {
+	Iteration          int       `json:"iteration"`
+	PredictedFrontSize int       `json:"predicted_front_size,omitempty"`
+	NewSamples         int       `json:"new_samples"`
+	TotalSamples       int       `json:"total_samples"`
+	FrontSize          int       `json:"front_size"`
+	OOBError           []float64 `json:"oob_error,omitempty"`
+	CacheHits          int       `json:"cache_hits"`
+	CacheMisses        int       `json:"cache_misses"`
+}
+
+// RunStatus is the GET /runs/{id} body.
+type RunStatus struct {
+	ID          string           `json:"id"`
+	Problem     string           `json:"problem"`
+	State       State            `json:"state"`
+	Created     time.Time        `json:"created"`
+	Samples     int              `json:"samples"`
+	FrontSize   int              `json:"front_size"`
+	Converged   bool             `json:"converged"`
+	CacheHits   int              `json:"cache_hits"`
+	CacheMisses int              `json:"cache_misses"`
+	Error       string           `json:"error,omitempty"`
+	Iterations  []IterationEvent `json:"iterations"`
+}
+
+// session is one managed exploration.
+type session struct {
+	id      string
+	problem Problem
+	created time.Time
+	cancel  context.CancelFunc
+
+	mu     sync.Mutex
+	state  State
+	events []IterationEvent
+	subs   map[chan struct{}]struct{} // wake signals for event streamers
+	result *core.Result
+	err    error
+}
+
+func toEvent(s core.IterationStats) IterationEvent {
+	return IterationEvent{
+		Iteration:          s.Iteration,
+		PredictedFrontSize: s.PredictedFrontSize,
+		NewSamples:         s.NewSamples,
+		TotalSamples:       s.TotalSamples,
+		FrontSize:          s.FrontSize,
+		OOBError:           s.OOBError,
+		CacheHits:          s.CacheHits,
+		CacheMisses:        s.CacheMisses,
+	}
+}
+
+// publish records a progress event and wakes event streamers. Streamers
+// read from the shared history by cursor, so a stalled subscriber misses
+// wake-ups (they coalesce) but never events.
+func (s *session) publish(ev IterationEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, ev)
+	s.wakeLocked()
+}
+
+func (s *session) wakeLocked() {
+	for ch := range s.subs {
+		select {
+		case ch <- struct{}{}:
+		default: // a wake-up is already pending
+		}
+	}
+}
+
+// finish moves the session to a terminal state. A run stopped by
+// cancellation reports context.Canceled from RunContext; a nil error means
+// the run completed even if its context was cancelled moments later.
+func (s *session) finish(res *core.Result, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.result = res
+	switch {
+	case errors.Is(err, context.Canceled):
+		s.state = StateCancelled
+	case err != nil:
+		s.state = StateFailed
+		s.err = err
+	default:
+		s.state = StateDone
+	}
+	s.wakeLocked()
+}
+
+// subscribe registers a wake channel for the event stream.
+func (s *session) subscribe() chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan struct{}, 1)
+	if s.subs == nil {
+		s.subs = make(map[chan struct{}]struct{})
+	}
+	s.subs[ch] = struct{}{}
+	return ch
+}
+
+func (s *session) unsubscribe(ch chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.subs, ch)
+}
+
+// eventsSince returns the events recorded past the cursor, the new cursor,
+// and whether the session is terminal — one consistent snapshot, so a
+// streamer that sees (no new events, terminal) can stop knowing it missed
+// nothing.
+func (s *session) eventsSince(cursor int) ([]IterationEvent, int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cursor > len(s.events) {
+		cursor = len(s.events)
+	}
+	fresh := append([]IterationEvent(nil), s.events[cursor:]...)
+	return fresh, len(s.events), s.state.Terminal()
+}
+
+func (s *session) status() RunStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := RunStatus{
+		ID:         s.id,
+		Problem:    s.problem.Name,
+		State:      s.state,
+		Created:    s.created,
+		Iterations: append([]IterationEvent(nil), s.events...),
+	}
+	if s.result != nil {
+		st.Samples = len(s.result.Samples)
+		st.FrontSize = len(s.result.Front)
+		st.Converged = s.result.Converged
+		st.CacheHits = s.result.CacheHits
+		st.CacheMisses = s.result.CacheMisses
+	} else if n := len(s.events); n > 0 {
+		st.Samples = s.events[n-1].TotalSamples
+		st.FrontSize = s.events[n-1].FrontSize
+		for _, ev := range s.events {
+			st.CacheHits += ev.CacheHits
+			st.CacheMisses += ev.CacheMisses
+		}
+	}
+	if s.err != nil {
+		st.Error = s.err.Error()
+	}
+	return st
+}
+
+// ErrUnknownProblem reports a RunRequest naming an unregistered problem.
+var ErrUnknownProblem = errors.New("unknown problem")
+
+// ErrShuttingDown reports a RunRequest arriving after Shutdown began.
+var ErrShuttingDown = errors.New("server is shutting down")
+
+// Request budget ceilings: hypermapperd is a shared multi-user service, so
+// one request must not be able to exhaust the process (e.g. a huge tree
+// count is allocated verbatim by forest.Fit).
+const (
+	maxRequestTrees      = 1024
+	maxRequestIterations = 1000
+	maxRequestSamples    = 1_000_000
+	maxRequestPoolCap    = 10_000_000
+	maxRequestWorkers    = 256
+)
+
+func (r RunRequest) validate() error {
+	for _, f := range []struct {
+		name string
+		v    int
+		max  int
+	}{
+		{"trees", r.Trees, maxRequestTrees},
+		{"max_iterations", r.MaxIterations, maxRequestIterations},
+		{"random_samples", r.RandomSamples, maxRequestSamples},
+		{"max_batch", r.MaxBatch, maxRequestSamples},
+		{"pool_cap", r.PoolCap, maxRequestPoolCap},
+		{"workers", r.Workers, maxRequestWorkers},
+	} {
+		if f.v < 0 {
+			return fmt.Errorf("%s must be ≥ 0 (0 selects the default)", f.name)
+		}
+		if f.v > f.max {
+			return fmt.Errorf("%s %d exceeds the limit %d", f.name, f.v, f.max)
+		}
+	}
+	return nil
+}
+
+// Manager owns the problem registry and the live sessions.
+type Manager struct {
+	mu       sync.Mutex
+	problems map[string]Problem
+	caches   map[string]*core.EvalCache // shared per problem
+	runs     map[string]*session
+	closed   bool // Shutdown has begun; no new sessions
+	seq      atomic.Int64
+	wg       sync.WaitGroup
+	baseCtx  context.Context
+	baseStop context.CancelFunc
+}
+
+// NewManager returns a manager with the given problems registered.
+func NewManager(problems ...Problem) *Manager {
+	ctx, stop := context.WithCancel(context.Background())
+	m := &Manager{
+		problems: make(map[string]Problem),
+		caches:   make(map[string]*core.EvalCache),
+		runs:     make(map[string]*session),
+		baseCtx:  ctx,
+		baseStop: stop,
+	}
+	for _, p := range problems {
+		m.Register(p)
+	}
+	return m
+}
+
+// Register adds or replaces a problem. Replacing always resets the
+// problem's memo-cache: the space fingerprint cannot detect an evaluator
+// change, and serving the old evaluator's measurements to the new one
+// would silently corrupt results.
+func (m *Manager) Register(p Problem) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.problems[p.Name] = p
+	m.caches[p.Name] = core.NewEvalCache()
+}
+
+// Problems lists the registered problems sorted by name.
+func (m *Manager) Problems() []Problem {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Problem, 0, len(m.problems))
+	for _, p := range m.problems {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Cache returns the shared memo-cache for a problem.
+func (m *Manager) Cache(problem string) (*core.EvalCache, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.caches[problem]
+	return c, ok
+}
+
+// Start launches one exploration session and returns its id.
+func (m *Manager) Start(req RunRequest) (string, error) {
+	if err := req.validate(); err != nil {
+		return "", err
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return "", ErrShuttingDown
+	}
+	p, ok := m.problems[req.Problem]
+	if !ok {
+		m.mu.Unlock()
+		return "", fmt.Errorf("%w: %q", ErrUnknownProblem, req.Problem)
+	}
+	cache := m.caches[req.Problem]
+	if req.NoCache {
+		cache = nil
+	}
+	id := fmt.Sprintf("run-%06d", m.seq.Add(1))
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	s := &session{
+		id:      id,
+		problem: p,
+		created: time.Now(),
+		cancel:  cancel,
+		state:   StateRunning,
+	}
+	m.runs[id] = s
+	m.wg.Add(1)
+	m.mu.Unlock()
+
+	opts := core.Options{
+		Objectives:    len(p.Objectives),
+		RandomSamples: req.RandomSamples,
+		MaxIterations: req.MaxIterations,
+		MaxBatch:      req.MaxBatch,
+		PoolCap:       req.PoolCap,
+		Seed:          req.Seed,
+		Workers:       req.Workers,
+		Cache:         cache,
+		OnIteration:   func(st core.IterationStats) { s.publish(toEvent(st)) },
+	}
+	opts.Forest.Trees = req.Trees
+
+	go func() {
+		defer m.wg.Done()
+		res, err := core.RunContext(ctx, p.Space, p.Eval, opts)
+		s.finish(res, err)
+		cancel()
+	}()
+	return id, nil
+}
+
+// Get returns a session by id.
+func (m *Manager) Get(id string) (*session, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s, ok := m.runs[id]
+	return s, ok
+}
+
+// Statuses lists every session, newest first.
+func (m *Manager) Statuses() []RunStatus {
+	m.mu.Lock()
+	sessions := make([]*session, 0, len(m.runs))
+	for _, s := range m.runs {
+		sessions = append(sessions, s)
+	}
+	m.mu.Unlock()
+	out := make([]RunStatus, len(sessions))
+	for i, s := range sessions {
+		out[i] = s.status()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID > out[j].ID })
+	return out
+}
+
+// Cancel requests cancellation of a session. It reports whether the id
+// exists; cancelling a terminal session is a no-op.
+func (m *Manager) Cancel(id string) bool {
+	s, ok := m.Get(id)
+	if !ok {
+		return false
+	}
+	s.cancel()
+	return true
+}
+
+// Shutdown refuses new sessions, cancels every running one, and waits (up
+// to the context deadline) for their goroutines to drain.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true // every wg.Add happened-before this; Wait is now safe
+	m.mu.Unlock()
+	m.baseStop()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Handler returns the REST API for the manager.
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /problems", func(w http.ResponseWriter, r *http.Request) {
+		type probJSON struct {
+			Name        string   `json:"name"`
+			Description string   `json:"description,omitempty"`
+			SpaceSize   int64    `json:"space_size"`
+			Parameters  []string `json:"parameters"`
+			Objectives  []string `json:"objectives"`
+		}
+		var out []probJSON
+		for _, p := range m.Problems() {
+			out = append(out, probJSON{
+				Name:        p.Name,
+				Description: p.Description,
+				SpaceSize:   p.Space.Size(),
+				Parameters:  p.Space.Names(),
+				Objectives:  p.Objectives,
+			})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("POST /runs", func(w http.ResponseWriter, r *http.Request) {
+		// A RunRequest is a handful of scalars; cap the body so one client
+		// cannot buffer gigabytes into the shared daemon.
+		r.Body = http.MaxBytesReader(w, r.Body, 1<<16)
+		var req RunRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parsing request: %w", err))
+			return
+		}
+		id, err := m.Start(req)
+		if err != nil {
+			code := http.StatusBadRequest
+			switch {
+			case errors.Is(err, ErrUnknownProblem):
+				code = http.StatusNotFound
+			case errors.Is(err, ErrShuttingDown):
+				code = http.StatusServiceUnavailable
+			}
+			writeError(w, code, err)
+			return
+		}
+		s, _ := m.Get(id)
+		w.Header().Set("Location", "/runs/"+id)
+		writeJSON(w, http.StatusCreated, s.status())
+	})
+
+	mux.HandleFunc("GET /runs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Statuses())
+	})
+
+	mux.HandleFunc("GET /runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("no such run"))
+			return
+		}
+		writeJSON(w, http.StatusOK, s.status())
+	})
+
+	mux.HandleFunc("GET /runs/{id}/front", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("no such run"))
+			return
+		}
+		s.mu.Lock()
+		res, state := s.result, s.state
+		s.mu.Unlock()
+		if res == nil {
+			writeError(w, http.StatusConflict,
+				fmt.Errorf("run is %s; front not available yet", state))
+			return
+		}
+		sf := core.NewStoredFront(s.problem.Space, res, s.problem.Name, "", s.problem.Objectives)
+		writeJSON(w, http.StatusOK, sf)
+	})
+
+	mux.HandleFunc("GET /runs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("no such run"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		if flusher != nil {
+			// Push the headers out now: the first event may be minutes
+			// away (real SLAM bootstraps), and clients with response-header
+			// timeouts would otherwise abort before seeing anything.
+			flusher.Flush()
+		}
+		enc := json.NewEncoder(w)
+		wake := s.subscribe()
+		defer s.unsubscribe(wake)
+		cursor := 0
+		for {
+			fresh, next, terminal := s.eventsSince(cursor)
+			cursor = next
+			for _, ev := range fresh {
+				if enc.Encode(ev) != nil {
+					return
+				}
+			}
+			if flusher != nil && len(fresh) > 0 {
+				flusher.Flush()
+			}
+			if terminal {
+				return
+			}
+			select {
+			case <-wake:
+			case <-r.Context().Done():
+				return
+			}
+		}
+	})
+
+	mux.HandleFunc("DELETE /runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if !m.Cancel(id) {
+			writeError(w, http.StatusNotFound, errors.New("no such run"))
+			return
+		}
+		s, _ := m.Get(id)
+		writeJSON(w, http.StatusAccepted, s.status())
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
