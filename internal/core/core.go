@@ -21,7 +21,9 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/forest"
 	"repro/internal/par"
@@ -82,6 +84,14 @@ type Options struct {
 
 	// cache is the run's space-bound view of Cache, set by RunContext.
 	cache *evalCacheView
+
+	// legacyState forces the pre-incremental per-iteration path: re-encode
+	// the training matrix before every fit, rebuild and re-encode the whole
+	// prediction pool every round, and predict each objective in its own
+	// batch pass. It is the reference implementation the regression tests
+	// and benchmarks compare the incremental poolState path against; both
+	// paths are byte-identical on the same seed.
+	legacyState bool
 }
 
 // withDefaults fills every optional field so a zero-valued Options (apart
@@ -138,6 +148,16 @@ type IterationStats struct {
 	// round's batch (both zero when Options.Cache is nil).
 	CacheHits   int
 	CacheMisses int
+	// Per-phase wall-clock durations of the round, in loop order: forest
+	// fitting, pool construction/encoding, pool prediction (including the
+	// predicted-front filter), and hardware evaluation of the new batch.
+	// The bootstrap event carries only EvalTime. They make the
+	// optimizer-side cost observable end to end (they stream out over the
+	// server's /events NDJSON feed).
+	FitTime     time.Duration
+	EncodeTime  time.Duration
+	PredictTime time.Duration
+	EvalTime    time.Duration
 }
 
 // Result is the outcome of a HyperMapper run.
@@ -163,16 +183,34 @@ type Result struct {
 	// the whole run, bootstrap included (zero when Options.Cache is nil).
 	CacheHits   int
 	CacheMisses int
+
+	// byIndex lazily maps design-space index → position in Samples, built
+	// on first ByIndex call (and rebuilt if Samples grew since), so
+	// FrontSamples is O(samples + front) instead of O(samples × front).
+	byIndexMu sync.Mutex
+	byIndex   map[int64]int
 }
 
 // ByIndex returns the sample with the given design-space index, if present.
+// Concurrent readers of a completed Result are safe (the lazy map build is
+// locked); it must not race with code that is still appending to Samples.
 func (r *Result) ByIndex(idx int64) (Sample, bool) {
-	for _, s := range r.Samples {
-		if s.Index == idx {
-			return s, true
+	r.byIndexMu.Lock()
+	if r.byIndex == nil || len(r.byIndex) != len(r.Samples) {
+		m := make(map[int64]int, len(r.Samples))
+		for i, s := range r.Samples {
+			if _, dup := m[s.Index]; !dup { // keep the first, like the linear scan did
+				m[s.Index] = i
+			}
 		}
+		r.byIndex = m
 	}
-	return Sample{}, false
+	i, ok := r.byIndex[idx]
+	r.byIndexMu.Unlock()
+	if !ok {
+		return Sample{}, false
+	}
+	return r.Samples[i], true
 }
 
 // ActiveSamples returns only the samples chosen by active learning.
@@ -222,6 +260,22 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 		res.Front = measuredFront(res.Samples)
 		return res, err
 	}
+	var st *poolState // incremental state; nil on the legacy reference path
+	if !o.legacyState {
+		st = newPoolState(space, o)
+	}
+	// addSample appends one measured sample to the result (and, on the
+	// incremental path, encodes it into the append-only training matrix).
+	addSample := func(s Sample) error {
+		if st != nil {
+			if err := st.addSample(s); err != nil {
+				return err
+			}
+		}
+		res.Samples = append(res.Samples, s)
+		evaluated[s.Index] = len(res.Samples) - 1
+		return nil
+	}
 
 	// ---- Random sampling bootstrap (X_out ← rs samples) ----
 	n := o.RandomSamples
@@ -230,13 +284,16 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 	}
 	bootstrap := space.SampleIndices(rng, n)
 	o.logf("random sampling: evaluating %d configurations", len(bootstrap))
+	evalStart := time.Now()
 	batch, hits, misses, err := evaluateBatch(ctx, space, eval, bootstrap, o)
+	evalTime := time.Since(evalStart)
 	res.CacheHits += hits
 	res.CacheMisses += misses
 	for _, s := range batch {
 		s.Iteration = 0
-		res.Samples = append(res.Samples, s)
-		evaluated[s.Index] = len(res.Samples) - 1
+		if err := addSample(s); err != nil {
+			return nil, err
+		}
 	}
 	res.RandomFront = measuredFront(res.Samples)
 	if err != nil {
@@ -249,15 +306,27 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 		FrontSize:    len(res.RandomFront),
 		CacheHits:    hits,
 		CacheMisses:  misses,
+		EvalTime:     evalTime,
 	})
 
 	// ---- Active learning loop ----
-	dim := space.Dim()
 	for iter := 1; iter <= o.MaxIterations; iter++ {
 		if err := ctx.Err(); err != nil {
 			return finish(err)
 		}
-		forests, oob, err := fitForests(ctx, space, res.Samples, o, iter)
+		fitStart := time.Now()
+		var forests []*forest.Forest
+		var oob []float64
+		if st != nil {
+			forests, oob, err = fitForests(ctx, st.xRows, st.ys, o, iter)
+		} else {
+			var x, ys [][]float64
+			x, ys, err = trainingMatrix(space, res.Samples, o.Objectives)
+			if err == nil {
+				forests, oob, err = fitForests(ctx, x, ys, o, iter)
+			}
+		}
+		fitTime := time.Since(fitStart)
 		if err != nil {
 			if ctx.Err() != nil {
 				return finish(ctx.Err())
@@ -266,31 +335,23 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 		}
 		res.Forests = forests
 
-		poolIdx := predictionPool(space, rng, o.PoolCap, evaluated)
-		feats := make([][]float64, len(poolIdx))
-		flat := make([]float64, len(poolIdx)*dim)
-		cfg := make(param.Config, dim)
-		for i, idx := range poolIdx {
-			row := flat[i*dim : (i+1)*dim]
-			space.AtIndexInto(idx, cfg)
-			space.Encode(cfg, row)
-			feats[i] = row
+		// Predict every objective over the pool and filter the predicted
+		// front P. The incremental path reuses the pool encodings and fuses
+		// the per-objective sweeps into one pass; the legacy path rebuilds
+		// everything per round.
+		var predicted []pareto.Point
+		var encodeTime, predictTime time.Duration
+		if st != nil {
+			encStart := time.Now()
+			st.pool(rng, evaluated, o.Workers)
+			encodeTime = time.Since(encStart)
+			predStart := time.Now()
+			points := st.predict(forests, o.Workers)
+			predicted = pareto.FrontInPlace(points)
+			predictTime = time.Since(predStart)
+		} else {
+			predicted, encodeTime, predictTime = legacyPredict(space, rng, o, evaluated, forests)
 		}
-
-		// Predict every objective over the pool.
-		preds := make([][]float64, o.Objectives)
-		for k, f := range forests {
-			preds[k] = f.PredictBatch(feats)
-		}
-		points := make([]pareto.Point, len(poolIdx))
-		for i, idx := range poolIdx {
-			objs := make([]float64, o.Objectives)
-			for k := range preds {
-				objs[k] = preds[k][i]
-			}
-			points[i] = pareto.Point{ID: idx, Objs: objs}
-		}
-		predicted := pareto.Front(points)
 
 		// P − X_out: predicted-front configurations not yet measured.
 		var todo []int64
@@ -313,20 +374,26 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 				TotalSamples:       len(res.Samples),
 				FrontSize:          len(measuredFront(res.Samples)),
 				OOBError:           oob,
+				FitTime:            fitTime,
+				EncodeTime:         encodeTime,
+				PredictTime:        predictTime,
 			}
 			res.Iterations = append(res.Iterations, stats)
 			o.onIteration(stats)
 			break
 		}
 
+		evalStart := time.Now()
 		newSamples, hits, misses, err := evaluateBatch(ctx, space, eval, todo, o)
+		evalTime := time.Since(evalStart)
 		res.CacheHits += hits
 		res.CacheMisses += misses
 		for _, s := range newSamples {
 			s.ActiveLearning = true
 			s.Iteration = iter
-			res.Samples = append(res.Samples, s)
-			evaluated[s.Index] = len(res.Samples) - 1
+			if err := addSample(s); err != nil {
+				return nil, err
+			}
 		}
 		if err != nil {
 			return finish(err)
@@ -341,6 +408,10 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 			OOBError:           oob,
 			CacheHits:          hits,
 			CacheMisses:        misses,
+			FitTime:            fitTime,
+			EncodeTime:         encodeTime,
+			PredictTime:        predictTime,
+			EvalTime:           evalTime,
 		}
 		res.Iterations = append(res.Iterations, stats)
 		o.onIteration(stats)
@@ -349,6 +420,44 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 	res.Front = measuredFront(res.Samples)
 	o.logf("done: %d samples, final front size %d", len(res.Samples), len(res.Front))
 	return res, nil
+}
+
+// legacyPredict is the pre-incremental prediction step, kept as the
+// reference the regression tests and BenchmarkALIteration compare against:
+// rebuild the pool, decode and encode every pool configuration, run one
+// batch prediction per objective, and transpose into per-point objective
+// vectors.
+func legacyPredict(space *param.Space, rng *rand.Rand, o Options, evaluated map[int64]int, forests []*forest.Forest) (predicted []pareto.Point, encodeTime, predictTime time.Duration) {
+	dim := space.Dim()
+	encStart := time.Now()
+	poolIdx := predictionPool(space, rng, o.PoolCap, evaluated)
+	feats := make([][]float64, len(poolIdx))
+	flat := make([]float64, len(poolIdx)*dim)
+	cfg := make(param.Config, dim)
+	for i, idx := range poolIdx {
+		row := flat[i*dim : (i+1)*dim]
+		space.AtIndexInto(idx, cfg)
+		space.Encode(cfg, row)
+		feats[i] = row
+	}
+	encodeTime = time.Since(encStart)
+
+	predStart := time.Now()
+	preds := make([][]float64, o.Objectives)
+	for k, f := range forests {
+		preds[k] = f.PredictBatch(feats)
+	}
+	points := make([]pareto.Point, len(poolIdx))
+	for i, idx := range poolIdx {
+		objs := make([]float64, o.Objectives)
+		for k := range preds {
+			objs[k] = preds[k][i]
+		}
+		points[i] = pareto.Point{ID: idx, Objs: objs}
+	}
+	predicted = pareto.Front(points)
+	predictTime = time.Since(predStart)
+	return predicted, encodeTime, predictTime
 }
 
 func (o Options) onIteration(stats IterationStats) {
@@ -409,22 +518,36 @@ func evaluateBatch(ctx context.Context, space *param.Space, eval Evaluator, idxs
 	return out, int(hits.Load()), int(misses.Load()), nil
 }
 
-// fitForests trains one regressor per objective on all samples so far. The
-// per-objective fits are independent and run in parallel, with the worker
-// budget split between them so the tree-level parallelism inside each
-// forest.Fit does not oversubscribe the machine by a factor of Objectives.
-// Cancellation is checked before each fit starts.
-func fitForests(ctx context.Context, space *param.Space, samples []Sample, o Options, iter int) ([]*forest.Forest, []float64, error) {
+// trainingMatrix encodes every sample from scratch — the legacy reference
+// path; the incremental path keeps the matrix append-only in poolState.
+func trainingMatrix(space *param.Space, samples []Sample, objectives int) (x, ys [][]float64, err error) {
 	dim := space.Dim()
-	x := make([][]float64, len(samples))
+	x = make([][]float64, len(samples))
+	ys = make([][]float64, objectives)
+	for k := range ys {
+		ys[k] = make([]float64, len(samples))
+	}
 	for i, s := range samples {
-		if len(s.Objs) != o.Objectives {
-			return nil, nil, fmt.Errorf("core: evaluator returned %d objectives, want %d", len(s.Objs), o.Objectives)
+		if len(s.Objs) != objectives {
+			return nil, nil, fmt.Errorf("core: evaluator returned %d objectives, want %d", len(s.Objs), objectives)
 		}
 		row := make([]float64, dim)
 		space.Encode(s.Config, row)
 		x[i] = row
+		for k := 0; k < objectives; k++ {
+			ys[k][i] = s.Objs[k]
+		}
 	}
+	return x, ys, nil
+}
+
+// fitForests trains one regressor per objective on the training matrix x
+// with per-objective target columns ys. The per-objective fits are
+// independent and run in parallel, with the worker budget split between
+// them so the tree-level parallelism inside each forest.Fit does not
+// oversubscribe the machine by a factor of Objectives. Cancellation is
+// checked before each fit starts.
+func fitForests(ctx context.Context, x, ys [][]float64, o Options, iter int) ([]*forest.Forest, []float64, error) {
 	// Forest.Workers (or, unset, the run's Workers) bounds the TOTAL
 	// tree-fitting parallelism; divide it across the concurrent
 	// per-objective fits.
@@ -444,14 +567,10 @@ func fitForests(ctx context.Context, space *param.Space, samples []Sample, o Opt
 			errs[k] = err
 			return
 		}
-		y := make([]float64, len(samples))
-		for i, s := range samples {
-			y[i] = s.Objs[k]
-		}
 		fo := o.Forest
 		fo.Workers = innerWorkers
 		fo.Seed = o.Seed + int64(k)*7_919 + int64(iter)*104_729
-		f, err := forest.Fit(x, y, fo)
+		f, err := forest.Fit(x, ys[k], fo)
 		if err != nil {
 			errs[k] = err
 			return

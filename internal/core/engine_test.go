@@ -58,6 +58,116 @@ func TestSeededRunsAreByteIdentical(t *testing.T) {
 	}
 }
 
+func TestIncrementalMatchesLegacyPath(t *testing.T) {
+	// The incremental poolState path (pool encoded once, append-only
+	// training matrix, fused flat-matrix prediction) must be byte-identical
+	// to the pre-optimization engine — same sample order, same fronts —
+	// on both the enumerable- and subsampled-pool paths, and for more than
+	// two objectives (which exercises frontKD instead of the 2-D sweep).
+	space := benchSpace(t)
+	threeObj := EvaluatorFunc(func(cfg param.Config) []float64 {
+		a, b, c := cfg[0], cfg[1], cfg[2]
+		return []float64{a + 1, b + 1, c + a*b*0.1}
+	})
+	cases := []struct {
+		name       string
+		objectives int
+		eval       Evaluator
+		poolCap    int
+	}{
+		{"2obj-enumerable", 2, benchEval(space), 0},
+		{"2obj-subsampled", 2, benchEval(space), 100},
+		{"3obj-subsampled", 3, threeObj, 400},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := Options{
+				Objectives:    tc.objectives,
+				RandomSamples: 40,
+				MaxIterations: 3,
+				MaxBatch:      30,
+				PoolCap:       tc.poolCap,
+				Seed:          23,
+			}
+			incremental, err := Run(space, tc.eval, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			legacy := opts
+			legacy.legacyState = true
+			reference, err := Run(space, tc.eval, legacy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fingerprintRun(incremental) != fingerprintRun(reference) {
+				t.Fatal("incremental path diverged from the legacy reference path with an identical seed")
+			}
+			if len(incremental.Iterations) != len(reference.Iterations) {
+				t.Fatalf("iteration counts differ: %d vs %d",
+					len(incremental.Iterations), len(reference.Iterations))
+			}
+			for i := range incremental.Iterations {
+				a, b := incremental.Iterations[i], reference.Iterations[i]
+				if a.PredictedFrontSize != b.PredictedFrontSize || a.NewSamples != b.NewSamples {
+					t.Fatalf("iteration %d stats diverged: %+v vs %+v", i, a, b)
+				}
+			}
+		})
+	}
+}
+
+func TestIterationTimingsPopulated(t *testing.T) {
+	space := benchSpace(t)
+	var bootstrap IterationStats
+	res, err := Run(space, benchEval(space), Options{
+		Objectives:    2,
+		RandomSamples: 40,
+		MaxIterations: 2,
+		Seed:          29,
+		OnIteration: func(s IterationStats) {
+			if s.Iteration == 0 {
+				bootstrap = s
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bootstrap.EvalTime <= 0 {
+		t.Fatalf("bootstrap EvalTime = %v, want > 0", bootstrap.EvalTime)
+	}
+	if bootstrap.FitTime != 0 || bootstrap.PredictTime != 0 {
+		t.Fatalf("bootstrap carries AL-phase timings: %+v", bootstrap)
+	}
+	for _, it := range res.Iterations {
+		if it.FitTime <= 0 {
+			t.Fatalf("iteration %d FitTime = %v, want > 0", it.Iteration, it.FitTime)
+		}
+		if it.PredictTime <= 0 {
+			t.Fatalf("iteration %d PredictTime = %v, want > 0", it.Iteration, it.PredictTime)
+		}
+	}
+}
+
+func TestByIndexLazyMap(t *testing.T) {
+	res := &Result{Samples: []Sample{
+		{Index: 7, Objs: []float64{1}},
+		{Index: 3, Objs: []float64{2}},
+		{Index: 11, Objs: []float64{3}},
+	}}
+	if s, ok := res.ByIndex(3); !ok || s.Objs[0] != 2 {
+		t.Fatalf("ByIndex(3) = %+v, %v", s, ok)
+	}
+	if _, ok := res.ByIndex(99); ok {
+		t.Fatal("ByIndex found a missing index")
+	}
+	// The map must refresh when samples are appended after the first call.
+	res.Samples = append(res.Samples, Sample{Index: 42, Objs: []float64{4}})
+	if s, ok := res.ByIndex(42); !ok || s.Objs[0] != 4 {
+		t.Fatalf("ByIndex missed an appended sample: %+v, %v", s, ok)
+	}
+}
+
 func TestRunContextCancelledBeforeStart(t *testing.T) {
 	space := benchSpace(t)
 	ctx, cancel := context.WithCancel(context.Background())
@@ -394,6 +504,47 @@ func TestThinGuards(t *testing.T) {
 	}
 	if got := thin([]int64{1, 2, 3}, -1); len(got) != 0 {
 		t.Fatalf("thin(_, -1) = %v", got)
+	}
+}
+
+// BenchmarkALIteration measures the active-learning loop on an enumerable
+// pool near the default PoolCap: a 192 000-point space swept exhaustively
+// every iteration, the regime the incremental exploration state targets.
+// The "legacy" sub-benchmark runs the retained pre-optimization reference
+// path, so one bench run shows the speedup and alloc reduction directly.
+func BenchmarkALIteration(b *testing.B) {
+	space := param.MustSpace(
+		param.Grid("a", 0, 4, 80),
+		param.Grid("b", 0, 4, 80),
+		param.Grid("c", 0, 1, 30),
+	) // 192 000 points, enumerable under the default 200 000 PoolCap
+	eval := EvaluatorFunc(func(cfg param.Config) []float64 {
+		a, bb := cfg[0], cfg[1]
+		return []float64{a + 0.5*bb + cfg[2], bb + 0.25*a}
+	})
+	for _, mode := range []struct {
+		name   string
+		legacy bool
+	}{
+		{"incremental", false},
+		{"legacy", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opts := Options{
+					Objectives:    2,
+					RandomSamples: 100,
+					MaxIterations: 2,
+					MaxBatch:      30,
+					Seed:          int64(i + 1),
+				}
+				opts.legacyState = mode.legacy
+				if _, err := Run(space, eval, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

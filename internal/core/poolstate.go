@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/forest"
+	"repro/internal/par"
+	"repro/internal/param"
+	"repro/internal/pareto"
+)
+
+// poolState carries the exploration state that is stable across
+// active-learning iterations, so the loop stops redoing work the paper's
+// Algorithm 1 only needs once:
+//
+//   - the prediction pool: spaces that fit under PoolCap are encoded into a
+//     flat row-major matrix exactly once and reused every iteration; for
+//     subsampled spaces only the fresh random draws are encoded per round,
+//     with the evaluated-index suffix served from cached encodings;
+//   - the training matrix: samples are encoded when they are measured and
+//     appended, instead of re-encoding all of X_out before every forest fit;
+//   - the prediction scratch: per-objective output columns, the point slice
+//     and its objective backing array are reused across iterations, so a
+//     steady-state round performs no pool-sized allocations.
+//
+// The state is bound to one run (one space, one objective count) and is not
+// safe for concurrent use; RunContext drives it from a single goroutine.
+type poolState struct {
+	space *param.Space
+	dim   int
+	k     int // objective count
+
+	poolCap    int
+	enumerable bool // the whole space fits under poolCap
+
+	poolIdx  []int64   // current pool; for enumerable spaces, built once
+	poolFlat []float64 // row-major encodings of poolIdx (len(poolIdx)*dim)
+
+	enc map[int64][]float64 // design-space index → encoded row (evaluated points)
+
+	// Append-only training matrix: one encoded row per measured sample, in
+	// evaluation order, plus the per-objective target columns.
+	xRows [][]float64
+	ys    [][]float64
+
+	// Prediction scratch, grown on demand and reused.
+	pred   [][]float64    // per-objective prediction columns over the pool
+	objs   []float64      // point-major objective backing (len(poolIdx)*k)
+	points []pareto.Point // pool points handed to the front filter
+}
+
+func newPoolState(space *param.Space, o Options) *poolState {
+	return &poolState{
+		space:      space,
+		dim:        space.Dim(),
+		k:          o.Objectives,
+		poolCap:    o.PoolCap,
+		enumerable: space.Size() <= int64(o.PoolCap),
+		enc:        make(map[int64][]float64),
+		ys:         make([][]float64, o.Objectives),
+		pred:       make([][]float64, o.Objectives),
+	}
+}
+
+// addSample encodes the measured configuration once and appends it to the
+// training matrix; the row doubles as the cached pool encoding for the
+// subsampled evaluated-index suffix.
+func (st *poolState) addSample(s Sample) error {
+	if len(s.Objs) != st.k {
+		return fmt.Errorf("core: evaluator returned %d objectives, want %d", len(s.Objs), st.k)
+	}
+	row := make([]float64, st.dim)
+	st.space.Encode(s.Config, row)
+	st.enc[s.Index] = row
+	st.xRows = append(st.xRows, row)
+	for j := 0; j < st.k; j++ {
+		st.ys[j] = append(st.ys[j], s.Objs[j])
+	}
+	return nil
+}
+
+// pool returns this iteration's prediction pool X with st.poolFlat holding
+// its encodings. Enumerable spaces build both exactly once; subsampled
+// spaces draw poolCap fresh indices (consuming the rng exactly like
+// predictionPool, so seeded runs stay byte-identical across engine
+// versions), encode only those, and copy the cached rows for the sorted
+// evaluated suffix.
+func (st *poolState) pool(rng *rand.Rand, evaluated map[int64]int, workers int) []int64 {
+	if st.enumerable {
+		if st.poolFlat == nil {
+			n := int(st.space.Size())
+			st.poolIdx = make([]int64, n)
+			for i := range st.poolIdx {
+				st.poolIdx[i] = int64(i)
+			}
+			st.poolFlat = make([]float64, n*st.dim)
+			st.encodeRange(0, n, workers)
+		}
+		return st.poolIdx
+	}
+
+	// Same draw (and rng consumption) as the legacy path; on this branch the
+	// space exceeds poolCap, so the first poolCap entries are the fresh
+	// random draws and the rest is the sorted evaluated suffix, whose
+	// encodings are cached.
+	pool := predictionPool(st.space, rng, st.poolCap, evaluated)
+	fresh := st.poolCap
+
+	if cap(st.poolFlat) < len(pool)*st.dim {
+		st.poolFlat = make([]float64, len(pool)*st.dim)
+	}
+	st.poolFlat = st.poolFlat[:len(pool)*st.dim]
+	st.poolIdx = pool
+	st.encodeRange(0, fresh, workers)
+	for i, idx := range pool[fresh:] {
+		copy(st.poolFlat[(fresh+i)*st.dim:(fresh+i+1)*st.dim], st.enc[idx])
+	}
+	return pool
+}
+
+// encodeRange decodes and encodes pool rows [lo, hi) into poolFlat in
+// parallel chunks.
+func (st *poolState) encodeRange(lo, hi, workers int) {
+	par.ForChunkedWorkers(hi-lo, workers, func(clo, chi int) {
+		cfg := make(param.Config, st.dim)
+		for i := lo + clo; i < lo+chi; i++ {
+			row := st.poolFlat[i*st.dim : (i+1)*st.dim]
+			st.space.AtIndexInto(st.poolIdx[i], cfg)
+			st.space.Encode(cfg, row)
+		}
+	})
+}
+
+// predict sweeps every objective's forest over the pool in one
+// worker-bounded pass: each chunk is predicted tree-major per objective via
+// PredictFlatRange and immediately transposed into the point-major backing
+// array while the chunk is cache-hot, so no [objectives][pool] intermediate
+// is materialized and no per-point Objs slice is allocated. The returned
+// points (and any front filtered from them) alias reusable buffers that are
+// overwritten by the next call.
+func (st *poolState) predict(forests []*forest.Forest, workers int) []pareto.Point {
+	n := len(st.poolIdx)
+	for j := range st.pred {
+		if cap(st.pred[j]) < n {
+			st.pred[j] = make([]float64, n)
+		}
+		st.pred[j] = st.pred[j][:n]
+	}
+	if cap(st.objs) < n*st.k {
+		st.objs = make([]float64, n*st.k)
+	}
+	st.objs = st.objs[:n*st.k]
+	if cap(st.points) < n {
+		st.points = make([]pareto.Point, n)
+	}
+	st.points = st.points[:n]
+
+	par.ForChunkedWorkers(n, workers, func(lo, hi int) {
+		for j, f := range forests {
+			f.PredictFlatRange(st.poolFlat, st.dim, lo, hi, st.pred[j])
+		}
+		for i := lo; i < hi; i++ {
+			objs := st.objs[i*st.k : (i+1)*st.k : (i+1)*st.k]
+			for j := 0; j < st.k; j++ {
+				objs[j] = st.pred[j][i]
+			}
+			st.points[i] = pareto.Point{ID: st.poolIdx[i], Objs: objs}
+		}
+	})
+	return st.points
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/device"
@@ -53,6 +54,14 @@ type DSEResult struct {
 	// exploration ran with a shared cache (both zero otherwise).
 	CacheHits   int
 	CacheMisses int
+
+	// FitTime/EncodeTime/PredictTime/EvalTime total the engine's per-phase
+	// wall-clock over the whole exploration (bootstrap included), splitting
+	// optimizer-side compute from hardware evaluation.
+	FitTime     time.Duration
+	EncodeTime  time.Duration
+	PredictTime time.Duration
+	EvalTime    time.Duration
 }
 
 // runDSE executes one exploration and derives the figure statistics.
@@ -63,6 +72,15 @@ func runDSE(opts Options, bench slambench.Benchmark, dev device.Model) (*DSEResu
 
 	budget := opts.dseBudget(bench.Name() == "elasticfusion")
 	budget.Cache = opts.cacheFor(bench.Name(), dev.Name)
+	// Collect per-phase timings over every event, bootstrap included (the
+	// bootstrap stats are streamed but not recorded in Result.Iterations).
+	var fitT, encT, predT, evalT time.Duration
+	budget.OnIteration = func(s core.IterationStats) {
+		fitT += s.FitTime
+		encT += s.EncodeTime
+		predT += s.PredictTime
+		evalT += s.EvalTime
+	}
 	run, err := core.Run(space, eval, budget)
 	if err != nil {
 		return nil, err
@@ -83,6 +101,10 @@ func runDSE(opts Options, bench slambench.Benchmark, dev device.Model) (*DSEResu
 		FrontSize:       len(run.Front),
 		CacheHits:       run.CacheHits,
 		CacheMisses:     run.CacheMisses,
+		FitTime:         fitT,
+		EncodeTime:      encT,
+		PredictTime:     predT,
+		EvalTime:        evalT,
 	}
 	for _, s := range run.Samples {
 		if s.Objs[1] < slambench.AccuracyLimit {
@@ -183,6 +205,11 @@ func (r *DSEResult) Render(w io.Writer) {
 		slambench.AccuracyLimit, r.ValidRandom, r.ValidAL, r.FrontSize)
 	if r.CacheHits+r.CacheMisses > 0 {
 		fprintfIgnore(w, "evaluation cache: %d hits, %d misses\n", r.CacheHits, r.CacheMisses)
+	}
+	if total := r.FitTime + r.EncodeTime + r.PredictTime + r.EvalTime; total > 0 {
+		fprintfIgnore(w, "time: fit %v, encode %v, predict %v, evaluate %v\n",
+			r.FitTime.Round(time.Millisecond), r.EncodeTime.Round(time.Millisecond),
+			r.PredictTime.Round(time.Millisecond), r.EvalTime.Round(time.Millisecond))
 	}
 	if r.BestValidSpeed != nil {
 		fprintfIgnore(w, "default %.3fs/frame -> best valid %.3fs/frame: speedup %.2fx (accuracy %.4fm)\n",

@@ -226,3 +226,63 @@ func (f *Forest) PredictInto(x [][]float64, out []float64) {
 		}
 	})
 }
+
+// PredictFlat predicts over a row-major flat feature matrix (len(flat) =
+// n*dim, row i at flat[i*dim:(i+1)*dim]) writing the n predictions into out.
+// It is the allocation-free pool-sweep path: no per-row slice headers, and
+// chunks are traversed tree-major so each tree's node arrays stay cache-hot
+// across the whole chunk instead of being re-walked per point. Results are
+// bit-identical to Predict on the same rows.
+func (f *Forest) PredictFlat(flat []float64, dim int, out []float64) {
+	if dim != f.nFeatures {
+		panic(fmt.Sprintf("forest: PredictFlat dim %d, forest fitted on %d features", dim, f.nFeatures))
+	}
+	if dim <= 0 || len(flat)%dim != 0 {
+		panic(fmt.Sprintf("forest: PredictFlat matrix length %d not a multiple of dim %d", len(flat), dim))
+	}
+	n := len(flat) / dim
+	if len(out) < n {
+		panic(fmt.Sprintf("forest: PredictFlat out length %d for %d rows", len(out), n))
+	}
+	par.ForChunked(n, func(lo, hi int) {
+		f.PredictFlatRange(flat, dim, lo, hi, out)
+	})
+}
+
+// PredictFlatRange is the serial building block of PredictFlat: it fills
+// out[lo:hi] with predictions for rows [lo, hi) of the flat matrix. Callers
+// that fuse several forests into one parallel sweep (one chunk pass filling
+// every objective) invoke it directly from their own worker loop. dim must
+// equal NumFeatures and out must have length ≥ hi; neither is re-validated
+// here.
+func (f *Forest) PredictFlatRange(flat []float64, dim, lo, hi int, out []float64) {
+	for i := lo; i < hi; i++ {
+		out[i] = 0
+	}
+	for _, t := range f.trees {
+		feature, thresh := t.feature, t.thresh
+		left, right, value := t.left, t.right, t.value
+		for i := lo; i < hi; i++ {
+			base := i * dim
+			j := int32(0)
+			for {
+				fj := feature[j]
+				if fj < 0 {
+					break
+				}
+				if flat[base+int(fj)] <= thresh[j] {
+					j = left[j]
+				} else {
+					j = right[j]
+				}
+			}
+			out[i] += value[j]
+		}
+	}
+	// Same accumulation order (tree 0..T-1) and final division as Predict,
+	// so the flat path is bit-identical to the row path.
+	nt := float64(len(f.trees))
+	for i := lo; i < hi; i++ {
+		out[i] /= nt
+	}
+}

@@ -182,6 +182,58 @@ func TestPredictBatchMatchesPredict(t *testing.T) {
 	}
 }
 
+func TestPredictFlatMatchesPredictBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	x, y := makeRegression(rng, 250)
+	f, err := Fit(x, y, Options{Trees: 8, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim := len(x[0])
+	flat := make([]float64, len(x)*dim)
+	for i, row := range x {
+		copy(flat[i*dim:(i+1)*dim], row)
+	}
+	batch := f.PredictBatch(x)
+	out := make([]float64, len(x))
+	f.PredictFlat(flat, dim, out)
+	for i := range out {
+		// Bit-identical, not approximately equal: the engine's determinism
+		// guarantee depends on the flat path matching the row path exactly.
+		if out[i] != batch[i] {
+			t.Fatalf("PredictFlat[%d] = %v, PredictBatch = %v", i, out[i], batch[i])
+		}
+	}
+	// The serial range building block must agree on partial sweeps too.
+	partial := make([]float64, len(x))
+	f.PredictFlatRange(flat, dim, 10, 40, partial)
+	for i := 10; i < 40; i++ {
+		if partial[i] != batch[i] {
+			t.Fatalf("PredictFlatRange[%d] = %v, want %v", i, partial[i], batch[i])
+		}
+	}
+}
+
+func TestPredictFlatValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	x, y := makeRegression(rng, 50)
+	f, err := Fit(x, y, Options{Trees: 4, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("wrong dim", func() { f.PredictFlat(make([]float64, 8), 2, make([]float64, 4)) })
+	mustPanic("ragged matrix", func() { f.PredictFlat(make([]float64, 7), 3, make([]float64, 3)) })
+	mustPanic("short out", func() { f.PredictFlat(make([]float64, 9), 3, make([]float64, 2)) })
+}
+
 func TestOOBErrorReasonable(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
 	x, y := makeRegression(rng, 500)
@@ -320,4 +372,38 @@ func BenchmarkPredictBatch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		f.PredictInto(pool, out)
 	}
+}
+
+// BenchmarkPredictPool compares a design-space-pool sweep through the
+// row-slice path (PredictBatch over [][]float64, what the engine did before
+// the flat-matrix path) against PredictFlat over the same encodings.
+func BenchmarkPredictPool(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x, y := makeRegression(rng, 800)
+	f, err := Fit(x, y, Options{Trees: 32, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n, dim = 50_000, 3
+	flat := make([]float64, n*dim)
+	rows := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		row := flat[i*dim : (i+1)*dim]
+		row[0], row[1], row[2] = rng.Float64()*4, rng.Float64()*4, rng.Float64()
+		rows[i] = row
+	}
+	b.Run("rows", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = f.PredictBatch(rows)
+		}
+	})
+	b.Run("flat", func(b *testing.B) {
+		b.ReportAllocs()
+		out := make([]float64, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			f.PredictFlat(flat, dim, out)
+		}
+	})
 }

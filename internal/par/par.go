@@ -61,7 +61,16 @@ func ForWorkers(n, workers int, f func(i int)) {
 // f(lo, hi) on each. It suits loops whose per-index cost is small and uniform
 // (image rows, voxel slabs).
 func ForChunked(n int, f func(lo, hi int)) {
-	workers := MaxWorkers()
+	ForChunkedWorkers(n, MaxWorkers(), f)
+}
+
+// ForChunkedWorkers is ForChunked with an explicit worker count; workers <= 0
+// selects MaxWorkers. It lets callers with their own concurrency budget (the
+// active-learning loop's Workers option) bound chunked sweeps too.
+func ForChunkedWorkers(n, workers int, f func(lo, hi int)) {
+	if workers <= 0 {
+		workers = MaxWorkers()
+	}
 	if n <= 0 {
 		return
 	}

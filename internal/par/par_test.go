@@ -62,6 +62,23 @@ func TestForChunkedCoversRangeExactly(t *testing.T) {
 	}
 }
 
+func TestForChunkedWorkersCoversRangeExactly(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 3, 64} {
+		const size = 1000
+		seen := make([]int32, size)
+		ForChunkedWorkers(size, workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
 func TestMapPreservesOrder(t *testing.T) {
 	got := Map(100, func(i int) int { return i * i })
 	for i, v := range got {

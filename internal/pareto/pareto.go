@@ -9,7 +9,9 @@
 package pareto
 
 import (
+	"cmp"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -53,31 +55,47 @@ func Front(points []Point) []Point {
 	return frontKD(points)
 }
 
+// FrontInPlace is Front, but it may reorder points instead of copying them.
+// The active-learning loop uses it to filter 10⁵-point prediction pools
+// without duplicating the pool slice every iteration; callers that need the
+// input order preserved must use Front.
+func FrontInPlace(points []Point) []Point {
+	if len(points) == 0 {
+		return nil
+	}
+	if len(points[0].Objs) == 2 {
+		return front2DInPlace(points)
+	}
+	return frontKD(points)
+}
+
 func front2D(points []Point) []Point {
-	sorted := append([]Point(nil), points...)
-	// Sort by (obj0, obj1, ID); the ID tiebreak makes duplicate handling
-	// deterministic.
-	sort.Slice(sorted, func(i, j int) bool {
-		a, b := sorted[i], sorted[j]
+	return front2DInPlace(append([]Point(nil), points...))
+}
+
+// front2DInPlace sorts its argument and sweeps it once: after ordering by
+// (obj0, obj1, ID), a point is non-dominated exactly when its obj1 strictly
+// improves on everything before it. Duplicate objective vectors fail the
+// strict test, so only the first occurrence (lowest ID) is kept. The sort is
+// unstable but the comparator is a total order (IDs break every tie), so the
+// output is deterministic; slices.SortFunc beats sort.Slice's reflection-
+// based swaps by a wide margin on the 10⁵-point prediction pools.
+func front2DInPlace(sorted []Point) []Point {
+	slices.SortFunc(sorted, func(a, b Point) int {
 		if a.Objs[0] != b.Objs[0] {
-			return a.Objs[0] < b.Objs[0]
+			return cmp.Compare(a.Objs[0], b.Objs[0])
 		}
 		if a.Objs[1] != b.Objs[1] {
-			return a.Objs[1] < b.Objs[1]
+			return cmp.Compare(a.Objs[1], b.Objs[1])
 		}
-		return a.ID < b.ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 	var out []Point
 	best1 := math.Inf(1)
-	lastKept := Point{Objs: []float64{math.Inf(-1), math.Inf(-1)}}
 	for _, p := range sorted {
 		if p.Objs[1] < best1 {
 			out = append(out, p)
 			best1 = p.Objs[1]
-			lastKept = p
-		} else if p.Objs[0] == lastKept.Objs[0] && p.Objs[1] == lastKept.Objs[1] && p.ID == lastKept.ID {
-			// Exact duplicate entry of the kept point: skip silently.
-			continue
 		}
 	}
 	return out

@@ -49,6 +49,61 @@ func TestFront2DSimple(t *testing.T) {
 	}
 }
 
+func TestFront2DDuplicateHandling(t *testing.T) {
+	// Locks the duplicate semantics of the 2-D sweep: points with identical
+	// objective vectors are kept exactly once, lowest ID first, regardless
+	// of input order — including repeated entries of the same ID.
+	points := []Point{
+		pt(9, 1, 5),
+		pt(2, 1, 5), // duplicate vector, lower ID: this one survives
+		pt(5, 1, 5), // duplicate vector
+		pt(2, 1, 5), // exact duplicate entry of the kept point
+		pt(4, 3, 2),
+		pt(4, 3, 2), // exact duplicate entry
+		pt(7, 2, 6), // dominated by (2, 1 5)
+	}
+	for trial := 0; trial < 5; trial++ {
+		f := Front(points)
+		wantIDs := []int64{2, 4}
+		if len(f) != len(wantIDs) {
+			t.Fatalf("front = %v, want IDs %v", f, wantIDs)
+		}
+		for i, id := range wantIDs {
+			if f[i].ID != id {
+				t.Fatalf("front = %v, want IDs %v", f, wantIDs)
+			}
+		}
+		// Shift input order; the output must not depend on it.
+		points = append(points[1:], points[0])
+	}
+}
+
+func TestFrontInPlaceMatchesFront(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	points := make([]Point, 500)
+	for i := range points {
+		points[i] = pt(int64(i), math.Round(rng.Float64()*20), math.Round(rng.Float64()*20))
+	}
+	want := Front(points) // copies: points keeps its order
+	scratch := append([]Point(nil), points...)
+	got := FrontInPlace(scratch)
+	if len(got) != len(want) {
+		t.Fatalf("FrontInPlace size %d, Front size %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("front %d: ID %d vs %d", i, got[i].ID, want[i].ID)
+		}
+	}
+	// Front must have left its input untouched even though FrontInPlace may
+	// reorder.
+	for i := range points {
+		if points[i].ID != int64(i) {
+			t.Fatal("Front reordered its input")
+		}
+	}
+}
+
 func TestFrontEmpty(t *testing.T) {
 	if got := Front(nil); got != nil {
 		t.Fatalf("Front(nil) = %v", got)

@@ -77,7 +77,11 @@ type RunRequest struct {
 }
 
 // IterationEvent is one progress record: the bootstrap (iteration 0) or an
-// active-learning round.
+// active-learning round. The *_ms fields are the engine's per-phase
+// wall-clock timings (forest fit, pool encode, pool predict, hardware
+// evaluation) in milliseconds, so dashboards tailing /events can see where
+// optimizer time goes in production; the bootstrap event carries only
+// eval_ms.
 type IterationEvent struct {
 	Iteration          int       `json:"iteration"`
 	PredictedFrontSize int       `json:"predicted_front_size,omitempty"`
@@ -87,6 +91,10 @@ type IterationEvent struct {
 	OOBError           []float64 `json:"oob_error,omitempty"`
 	CacheHits          int       `json:"cache_hits"`
 	CacheMisses        int       `json:"cache_misses"`
+	FitMS              float64   `json:"fit_ms,omitempty"`
+	EncodeMS           float64   `json:"encode_ms,omitempty"`
+	PredictMS          float64   `json:"predict_ms,omitempty"`
+	EvalMS             float64   `json:"eval_ms,omitempty"`
 }
 
 // RunStatus is the GET /runs/{id} body.
@@ -129,7 +137,15 @@ func toEvent(s core.IterationStats) IterationEvent {
 		OOBError:           s.OOBError,
 		CacheHits:          s.CacheHits,
 		CacheMisses:        s.CacheMisses,
+		FitMS:              durationMS(s.FitTime),
+		EncodeMS:           durationMS(s.EncodeTime),
+		PredictMS:          durationMS(s.PredictTime),
+		EvalMS:             durationMS(s.EvalTime),
 	}
+}
+
+func durationMS(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
 }
 
 // publish records a progress event and wakes event streamers. Streamers

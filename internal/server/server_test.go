@@ -353,6 +353,17 @@ func TestEventStream(t *testing.T) {
 	if events[0].Iteration != 0 || events[0].NewSamples != 30 {
 		t.Fatalf("first event %+v is not the bootstrap", events[0])
 	}
+	// Per-phase timings stream with the events: the bootstrap reports its
+	// evaluation time, and every AL round that fitted a model reports a
+	// positive fit and predict duration.
+	if events[0].EvalMS <= 0 {
+		t.Fatalf("bootstrap event carries no eval time: %+v", events[0])
+	}
+	for _, ev := range events[1:] {
+		if ev.FitMS <= 0 || ev.PredictMS <= 0 {
+			t.Fatalf("AL event missing phase timings: %+v", ev)
+		}
+	}
 	final := waitTerminal(t, ts, st.ID)
 	if got := events[len(events)-1].TotalSamples; got != final.Samples {
 		t.Fatalf("last event total %d, final samples %d", got, final.Samples)
