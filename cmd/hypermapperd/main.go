@@ -38,10 +38,21 @@ func main() {
 		addr  = flag.String("addr", ":8089", "listen address")
 		scale = flag.String("dataset", "dse", "dataset scale: full, dse, or test")
 		power = flag.Bool("power", false, "add power as a third objective")
+
+		sessionTTL = flag.Duration("session-ttl", time.Hour,
+			"evict a finished session this long after it reaches a terminal state (0 retains forever)")
+		maxSessions = flag.Int("max-sessions", 10000,
+			"retained-session cap; finished sessions are evicted oldest-first past it (0 = unbounded)")
+		shards = flag.Int("shards", 0,
+			"session-store shard count (0 selects the default)")
 	)
 	flag.Parse()
 
-	mgr := server.NewManager(buildProblems(*scale, *power)...)
+	mgr := server.NewManagerConfig(server.Config{
+		SessionTTL:  *sessionTTL,
+		MaxSessions: *maxSessions,
+		Shards:      *shards,
+	}, buildProblems(*scale, *power)...)
 
 	srv := &http.Server{Addr: *addr, Handler: mgr.Handler()}
 	errc := make(chan error, 1)

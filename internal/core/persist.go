@@ -80,14 +80,20 @@ func (sf *StoredFront) Write(w io.Writer) error {
 	return enc.Encode(sf)
 }
 
-// SaveFront writes the front to a file.
+// SaveFront writes the front to a file. The close error is returned, not
+// swallowed: on many filesystems a short or failed write only surfaces at
+// Close, and the stored front is an artifact callers reload later — a
+// silently truncated file would report success here and fail at LoadFront.
 func SaveFront(path string, sf *StoredFront) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	return sf.Write(f)
+	if err := sf.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // ReadFront parses a stored front and validates it against the design

@@ -1,0 +1,166 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/core"
+)
+
+// Handler returns the REST API for the manager.
+func (m *Manager) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /problems", func(w http.ResponseWriter, r *http.Request) {
+		type probJSON struct {
+			Name        string   `json:"name"`
+			Description string   `json:"description,omitempty"`
+			SpaceSize   int64    `json:"space_size"`
+			Parameters  []string `json:"parameters"`
+			Objectives  []string `json:"objectives"`
+		}
+		probs := m.Problems()
+		// Non-nil even with no registered problems: strict clients expect
+		// [], not null.
+		out := make([]probJSON, 0, len(probs))
+		for _, p := range probs {
+			out = append(out, probJSON{
+				Name:        p.Name,
+				Description: p.Description,
+				SpaceSize:   p.Space.Size(),
+				Parameters:  p.Space.Names(),
+				Objectives:  p.Objectives,
+			})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Stats())
+	})
+
+	mux.HandleFunc("POST /runs", func(w http.ResponseWriter, r *http.Request) {
+		// A RunRequest is a handful of scalars; cap the body so one client
+		// cannot buffer gigabytes into the shared daemon.
+		r.Body = http.MaxBytesReader(w, r.Body, 1<<16)
+		var req RunRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("parsing request: %w", err))
+			return
+		}
+		// Start returns the created status directly: re-fetching it from
+		// the store could miss if eviction raced the creation.
+		st, err := m.Start(req)
+		if err != nil {
+			code := http.StatusBadRequest
+			switch {
+			case errors.Is(err, ErrUnknownProblem):
+				code = http.StatusNotFound
+			case errors.Is(err, ErrShuttingDown):
+				code = http.StatusServiceUnavailable
+			}
+			writeError(w, code, err)
+			return
+		}
+		w.Header().Set("Location", "/runs/"+st.ID)
+		writeJSON(w, http.StatusCreated, st)
+	})
+
+	mux.HandleFunc("GET /runs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Statuses())
+	})
+
+	mux.HandleFunc("GET /runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("no such run"))
+			return
+		}
+		writeJSON(w, http.StatusOK, s.status())
+	})
+
+	mux.HandleFunc("GET /runs/{id}/front", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("no such run"))
+			return
+		}
+		s.mu.Lock()
+		res, state := s.result, s.state
+		s.mu.Unlock()
+		if res == nil {
+			writeError(w, http.StatusConflict,
+				fmt.Errorf("run is %s; front not available yet", state))
+			return
+		}
+		sf := core.NewStoredFront(s.problem.Space, res, s.problem.Name, "", s.problem.Objectives)
+		writeJSON(w, http.StatusOK, sf)
+	})
+
+	mux.HandleFunc("GET /runs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("no such run"))
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		flusher, _ := w.(http.Flusher)
+		if flusher != nil {
+			// Push the headers out now: the first event may be minutes
+			// away (real SLAM bootstraps), and clients with response-header
+			// timeouts would otherwise abort before seeing anything.
+			flusher.Flush()
+		}
+		enc := json.NewEncoder(w)
+		wake := s.subscribe()
+		defer s.unsubscribe(wake)
+		cursor := 0
+		for {
+			fresh, next, terminal := s.eventsSince(cursor)
+			cursor = next
+			for _, ev := range fresh {
+				if enc.Encode(ev) != nil {
+					return
+				}
+			}
+			if flusher != nil && len(fresh) > 0 {
+				flusher.Flush()
+			}
+			if terminal {
+				return
+			}
+			select {
+			case <-wake:
+			case <-r.Context().Done():
+				return
+			}
+		}
+	})
+
+	mux.HandleFunc("DELETE /runs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		// Cancel returns the post-cancel status atomically: a second
+		// lookup here could miss (eviction, concurrent delete) and the old
+		// two-step cancel-then-get dereferenced that miss.
+		st, ok := m.Cancel(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("no such run"))
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

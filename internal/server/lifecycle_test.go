@@ -1,0 +1,319 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServerConfig(t *testing.T, cfg Config, problems ...Problem) (*Manager, *httptest.Server) {
+	t.Helper()
+	mgr := NewManagerConfig(cfg, problems...)
+	ts := httptest.NewServer(mgr.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := mgr.Shutdown(ctx); err != nil {
+			t.Errorf("manager shutdown: %v", err)
+		}
+	})
+	return mgr, ts
+}
+
+// waitEvicted polls until the id is gone from the store.
+func waitEvicted(t *testing.T, mgr *Manager, id string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := mgr.Get(id); !ok {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("session %s was never evicted", id)
+}
+
+func getStats(t *testing.T, ts *httptest.Server) Stats {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /stats = %d", resp.StatusCode)
+	}
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func TestStatusesOrderPastMillionSequence(t *testing.T) {
+	// Ids compared as strings break at the run-%06d padding boundary:
+	// "run-1000000" < "run-999999" lexicographically. Ordering must follow
+	// the numeric sequence.
+	mgr, ts := newTestServer(t, testProblem("toy", 0))
+	mgr.seq.Store(999_998)
+	req := RunRequest{Problem: "toy", Seed: 1, RandomSamples: 10, MaxIterations: 1}
+	first := postRun(t, ts, req)  // run-999999
+	second := postRun(t, ts, req) // run-1000000
+	if first.ID != "run-999999" || second.ID != "run-1000000" {
+		t.Fatalf("unexpected ids %q, %q", first.ID, second.ID)
+	}
+	waitTerminal(t, ts, first.ID)
+	waitTerminal(t, ts, second.ID)
+
+	sts := mgr.Statuses()
+	if len(sts) != 2 {
+		t.Fatalf("Statuses returned %d sessions", len(sts))
+	}
+	if sts[0].ID != "run-1000000" || sts[1].ID != "run-999999" {
+		t.Fatalf("order = [%s, %s], want newest (run-1000000) first", sts[0].ID, sts[1].ID)
+	}
+}
+
+func TestTTLEvictsTerminalSessions(t *testing.T) {
+	mgr, ts := newTestServerConfig(t, Config{
+		SessionTTL:      200 * time.Millisecond,
+		JanitorInterval: 10 * time.Millisecond,
+	}, testProblem("toy", 0))
+
+	st := postRun(t, ts, RunRequest{Problem: "toy", Seed: 1, RandomSamples: 10, MaxIterations: 1})
+	waitTerminal(t, ts, st.ID)
+	waitEvicted(t, mgr, st.ID)
+
+	// An evicted id is a clean 404 on every per-run endpoint, not a crash.
+	for _, path := range []string{"", "/front", "/events"} {
+		resp, err := http.Get(ts.URL + "/runs/" + st.ID + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET /runs/{id}%s after eviction = %d, want 404", path, resp.StatusCode)
+		}
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/runs/"+st.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("DELETE after eviction = %d, want 404", resp.StatusCode)
+	}
+
+	stats := getStats(t, ts)
+	if stats.EvictedTTL == 0 {
+		t.Fatalf("stats report no TTL evictions: %+v", stats)
+	}
+	if stats.Sessions != 0 {
+		t.Fatalf("stats still count %d sessions", stats.Sessions)
+	}
+	if stats.TotalStarted != 1 {
+		t.Fatalf("total_started = %d", stats.TotalStarted)
+	}
+}
+
+func TestMaxSessionsEvictsOldestTerminalFirst(t *testing.T) {
+	const maxKeep = 3
+	mgr, ts := newTestServerConfig(t, Config{MaxSessions: maxKeep}, testProblem("toy", 0))
+
+	// Six sessions run to completion one after another; the store must
+	// never retain more than the cap, dropping the oldest finished runs.
+	var ids []string
+	for i := 0; i < 6; i++ {
+		st := postRun(t, ts, RunRequest{
+			Problem: "toy", Seed: int64(i), RandomSamples: 10, MaxIterations: 1,
+		})
+		ids = append(ids, st.ID)
+		waitTerminal(t, ts, st.ID)
+	}
+
+	if n := mgr.store.Len(); n > maxKeep {
+		t.Fatalf("store retains %d sessions, cap is %d", n, maxKeep)
+	}
+	// The newest maxKeep sessions survive; the oldest were evicted.
+	for _, id := range ids[len(ids)-maxKeep:] {
+		if _, ok := mgr.Get(id); !ok {
+			t.Fatalf("recent session %s was evicted", id)
+		}
+	}
+	for _, id := range ids[:len(ids)-maxKeep] {
+		if _, ok := mgr.Get(id); ok {
+			t.Fatalf("old terminal session %s survived past the cap", id)
+		}
+	}
+	stats := getStats(t, ts)
+	if want := int64(len(ids) - maxKeep); stats.EvictedCap != want {
+		t.Fatalf("evicted_cap = %d, want %d", stats.EvictedCap, want)
+	}
+}
+
+func TestRunningSessionsNeverEvicted(t *testing.T) {
+	// Aggressive TTL and a cap of 1, with a long-running session started
+	// first: the running session must survive every eviction pass while
+	// newer sessions finish and expire around it.
+	mgr, ts := newTestServerConfig(t, Config{
+		SessionTTL:      20 * time.Millisecond,
+		MaxSessions:     1,
+		JanitorInterval: 10 * time.Millisecond,
+	}, testProblem("toy", 0), testProblem("slow", 5*time.Millisecond))
+
+	running := postRun(t, ts, RunRequest{
+		Problem: "slow", Seed: 1, RandomSamples: 100, MaxIterations: 500, MaxBatch: 50, Workers: 1,
+	})
+	// Eviction is the only wait needed: a session can be evicted only
+	// after it turns terminal, and the aggressive TTL + cap guarantee the
+	// janitor reclaims each fast session shortly after it finishes.
+	for i := 0; i < 3; i++ {
+		st := postRun(t, ts, RunRequest{
+			Problem: "toy", Seed: int64(i), RandomSamples: 10, MaxIterations: 1,
+		})
+		waitEvicted(t, mgr, st.ID)
+	}
+
+	// All passes ran (everything else was evicted), yet the in-flight
+	// session is still there and still running.
+	st := getStatus(t, ts, running.ID)
+	if st.State != StateRunning {
+		t.Fatalf("running session state = %s", st.State)
+	}
+	stats := getStats(t, ts)
+	if stats.Running != 1 || stats.Sessions != 1 {
+		t.Fatalf("stats = %+v, want exactly the running session", stats)
+	}
+
+	// Cancel it; once terminal it becomes eligible and the janitor must
+	// reclaim it, leaving the store empty.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/runs/"+running.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cancelled RunStatus
+	err = json.NewDecoder(resp.Body).Decode(&cancelled)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("DELETE = %d, err %v", resp.StatusCode, err)
+	}
+	// The DELETE response is the atomic post-cancel status — no second
+	// lookup that eviction could invalidate.
+	if cancelled.ID != running.ID {
+		t.Fatalf("cancel returned status for %q", cancelled.ID)
+	}
+	waitEvicted(t, mgr, running.ID)
+}
+
+func TestBoundedMemoryUnderChurn(t *testing.T) {
+	// The acceptance scenario: a daemon with both -session-ttl and
+	// -max-sessions set, sequence seeded past the 10^6 rollover, one
+	// in-flight session, and more finished sessions than the cap. The
+	// retained count stays bounded, the in-flight session survives, and
+	// Statuses orders numerically.
+	const maxKeep = 4
+	mgr, ts := newTestServerConfig(t, Config{
+		SessionTTL:      10 * time.Second, // long: only the cap evicts here
+		MaxSessions:     maxKeep,
+		Shards:          8,
+		JanitorInterval: 10 * time.Millisecond,
+	}, testProblem("toy", 0), testProblem("slow", 5*time.Millisecond))
+	mgr.seq.Store(999_997)
+
+	running := postRun(t, ts, RunRequest{ // run-999998
+		Problem: "slow", Seed: 1, RandomSamples: 100, MaxIterations: 500, MaxBatch: 50, Workers: 1,
+	})
+	const churn = 10
+	for i := 0; i < churn; i++ {
+		st := postRun(t, ts, RunRequest{
+			Problem: "toy", Seed: int64(i), RandomSamples: 10, MaxIterations: 1,
+		})
+		waitTerminal(t, ts, st.ID)
+	}
+
+	if n := mgr.store.Len(); n > maxKeep {
+		t.Fatalf("store retains %d sessions after churn, cap is %d", n, maxKeep)
+	}
+	if st := getStatus(t, ts, running.ID); st.State != StateRunning {
+		t.Fatalf("in-flight session did not survive churn: %s", st.State)
+	}
+
+	sts := mgr.Statuses()
+	for i := 1; i < len(sts); i++ {
+		prev, _ := parseSeq(sts[i-1].ID)
+		cur, _ := parseSeq(sts[i].ID)
+		if cur >= prev {
+			t.Fatalf("Statuses not newest-first numerically: %s before %s", sts[i-1].ID, sts[i].ID)
+		}
+	}
+	// The listing spans the rollover: churn pushed ids past run-1000000
+	// while the running session holds run-999998.
+	last := sts[len(sts)-1]
+	if last.ID != running.ID {
+		t.Fatalf("oldest retained = %s, want the running session %s", last.ID, running.ID)
+	}
+	stats := getStats(t, ts)
+	if stats.EvictedCap == 0 || stats.Shards != 8 || stats.MaxSessions != maxKeep {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if stats.TotalStarted != 999_997+1+churn {
+		t.Fatalf("total_started = %d", stats.TotalStarted)
+	}
+}
+
+func TestEmptyCollectionsMarshalAsArrays(t *testing.T) {
+	// Strict clients reject null where a collection is expected: an empty
+	// problem registry and a pre-first-event status must both say [].
+	_, ts := newTestServer(t) // no problems registered
+	resp, err := http.Get(ts.URL + "/problems")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if got := strings.TrimSpace(string(body)); got != "[]" {
+		t.Fatalf("GET /problems with no problems = %q, want []", got)
+	}
+
+	// A slow bootstrap means the first status precedes the first event.
+	_, ts2 := newTestServer(t, testProblem("slow", 10*time.Millisecond))
+	st := postRun(t, ts2, RunRequest{Problem: "slow", Seed: 1, RandomSamples: 200, Workers: 1})
+	r, err := http.Get(ts2.URL + "/runs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(r.Body)
+	r.Body.Close()
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(body, &raw); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(raw["iterations"])); got != "[]" {
+		t.Fatalf(`"iterations" before the first event = %s, want []`, got)
+	}
+}
+
+func TestEventTimingFieldsAlwaysPresent(t *testing.T) {
+	// The phase timings must not be dropped by omitempty: the bootstrap
+	// event has no fit/encode/predict phase, and those fields must still
+	// appear (as 0) so consumers can tell "zero" from "missing".
+	var ev IterationEvent
+	b, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"fit_ms", "encode_ms", "predict_ms", "eval_ms"} {
+		if !strings.Contains(string(b), fmt.Sprintf("%q:0", field)) {
+			t.Fatalf("marshalled zero event %s is missing %q", b, field)
+		}
+	}
+}

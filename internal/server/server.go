@@ -8,6 +8,7 @@
 // Endpoints:
 //
 //	GET    /problems         list the registered optimization problems
+//	GET    /stats            session-store and eviction counters
 //	POST   /runs             start a DSE session           → 201 + status
 //	GET    /runs             list sessions
 //	GET    /runs/{id}        poll one session's status and progress
@@ -17,14 +18,17 @@
 //
 // Sessions over the same problem share one evaluator memo-cache, so
 // repeated explorations of a space skip re-measurement.
+//
+// The package splits along its three layers: this file owns the Manager
+// (registry, session launch, lifecycle policy), session.go the per-session
+// state machine, store.go the sharded SessionStore and eviction, and
+// handlers.go the HTTP surface.
 package server
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"fmt"
-	"net/http"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -47,19 +51,6 @@ type Problem struct {
 	Objectives []string
 }
 
-// State enumerates a session's lifecycle.
-type State string
-
-const (
-	StateRunning   State = "running"
-	StateDone      State = "done"
-	StateCancelled State = "cancelled"
-	StateFailed    State = "failed"
-)
-
-// Terminal reports whether no further progress events can arrive.
-func (s State) Terminal() bool { return s != StateRunning }
-
 // RunRequest is the POST /runs body. Zero-valued budget fields select the
 // engine defaults.
 type RunRequest struct {
@@ -74,178 +65,6 @@ type RunRequest struct {
 	// NoCache opts this session out of the problem's shared memo-cache
 	// (e.g. when the evaluator is noisy and fresh measurements matter).
 	NoCache bool `json:"no_cache,omitempty"`
-}
-
-// IterationEvent is one progress record: the bootstrap (iteration 0) or an
-// active-learning round. The *_ms fields are the engine's per-phase
-// wall-clock timings (forest fit, pool encode, pool predict, hardware
-// evaluation) in milliseconds, so dashboards tailing /events can see where
-// optimizer time goes in production; the bootstrap event carries only
-// eval_ms.
-type IterationEvent struct {
-	Iteration          int       `json:"iteration"`
-	PredictedFrontSize int       `json:"predicted_front_size,omitempty"`
-	NewSamples         int       `json:"new_samples"`
-	TotalSamples       int       `json:"total_samples"`
-	FrontSize          int       `json:"front_size"`
-	OOBError           []float64 `json:"oob_error,omitempty"`
-	CacheHits          int       `json:"cache_hits"`
-	CacheMisses        int       `json:"cache_misses"`
-	FitMS              float64   `json:"fit_ms,omitempty"`
-	EncodeMS           float64   `json:"encode_ms,omitempty"`
-	PredictMS          float64   `json:"predict_ms,omitempty"`
-	EvalMS             float64   `json:"eval_ms,omitempty"`
-}
-
-// RunStatus is the GET /runs/{id} body.
-type RunStatus struct {
-	ID          string           `json:"id"`
-	Problem     string           `json:"problem"`
-	State       State            `json:"state"`
-	Created     time.Time        `json:"created"`
-	Samples     int              `json:"samples"`
-	FrontSize   int              `json:"front_size"`
-	Converged   bool             `json:"converged"`
-	CacheHits   int              `json:"cache_hits"`
-	CacheMisses int              `json:"cache_misses"`
-	Error       string           `json:"error,omitempty"`
-	Iterations  []IterationEvent `json:"iterations"`
-}
-
-// session is one managed exploration.
-type session struct {
-	id      string
-	problem Problem
-	created time.Time
-	cancel  context.CancelFunc
-
-	mu     sync.Mutex
-	state  State
-	events []IterationEvent
-	subs   map[chan struct{}]struct{} // wake signals for event streamers
-	result *core.Result
-	err    error
-}
-
-func toEvent(s core.IterationStats) IterationEvent {
-	return IterationEvent{
-		Iteration:          s.Iteration,
-		PredictedFrontSize: s.PredictedFrontSize,
-		NewSamples:         s.NewSamples,
-		TotalSamples:       s.TotalSamples,
-		FrontSize:          s.FrontSize,
-		OOBError:           s.OOBError,
-		CacheHits:          s.CacheHits,
-		CacheMisses:        s.CacheMisses,
-		FitMS:              durationMS(s.FitTime),
-		EncodeMS:           durationMS(s.EncodeTime),
-		PredictMS:          durationMS(s.PredictTime),
-		EvalMS:             durationMS(s.EvalTime),
-	}
-}
-
-func durationMS(d time.Duration) float64 {
-	return float64(d) / float64(time.Millisecond)
-}
-
-// publish records a progress event and wakes event streamers. Streamers
-// read from the shared history by cursor, so a stalled subscriber misses
-// wake-ups (they coalesce) but never events.
-func (s *session) publish(ev IterationEvent) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.events = append(s.events, ev)
-	s.wakeLocked()
-}
-
-func (s *session) wakeLocked() {
-	for ch := range s.subs {
-		select {
-		case ch <- struct{}{}:
-		default: // a wake-up is already pending
-		}
-	}
-}
-
-// finish moves the session to a terminal state. A run stopped by
-// cancellation reports context.Canceled from RunContext; a nil error means
-// the run completed even if its context was cancelled moments later.
-func (s *session) finish(res *core.Result, err error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.result = res
-	switch {
-	case errors.Is(err, context.Canceled):
-		s.state = StateCancelled
-	case err != nil:
-		s.state = StateFailed
-		s.err = err
-	default:
-		s.state = StateDone
-	}
-	s.wakeLocked()
-}
-
-// subscribe registers a wake channel for the event stream.
-func (s *session) subscribe() chan struct{} {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	ch := make(chan struct{}, 1)
-	if s.subs == nil {
-		s.subs = make(map[chan struct{}]struct{})
-	}
-	s.subs[ch] = struct{}{}
-	return ch
-}
-
-func (s *session) unsubscribe(ch chan struct{}) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.subs, ch)
-}
-
-// eventsSince returns the events recorded past the cursor, the new cursor,
-// and whether the session is terminal — one consistent snapshot, so a
-// streamer that sees (no new events, terminal) can stop knowing it missed
-// nothing.
-func (s *session) eventsSince(cursor int) ([]IterationEvent, int, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if cursor > len(s.events) {
-		cursor = len(s.events)
-	}
-	fresh := append([]IterationEvent(nil), s.events[cursor:]...)
-	return fresh, len(s.events), s.state.Terminal()
-}
-
-func (s *session) status() RunStatus {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st := RunStatus{
-		ID:         s.id,
-		Problem:    s.problem.Name,
-		State:      s.state,
-		Created:    s.created,
-		Iterations: append([]IterationEvent(nil), s.events...),
-	}
-	if s.result != nil {
-		st.Samples = len(s.result.Samples)
-		st.FrontSize = len(s.result.Front)
-		st.Converged = s.result.Converged
-		st.CacheHits = s.result.CacheHits
-		st.CacheMisses = s.result.CacheMisses
-	} else if n := len(s.events); n > 0 {
-		st.Samples = s.events[n-1].TotalSamples
-		st.FrontSize = s.events[n-1].FrontSize
-		for _, ev := range s.events {
-			st.CacheHits += ev.CacheHits
-			st.CacheMisses += ev.CacheMisses
-		}
-	}
-	if s.err != nil {
-		st.Error = s.err.Error()
-	}
-	return st
 }
 
 // ErrUnknownProblem reports a RunRequest naming an unregistered problem.
@@ -288,31 +107,84 @@ func (r RunRequest) validate() error {
 	return nil
 }
 
-// Manager owns the problem registry and the live sessions.
+// Config bounds a long-lived manager's memory. The zero value retains
+// every session forever in the default shard count — the behavior small
+// deployments and tests want.
+type Config struct {
+	// SessionTTL evicts a terminal session this long after it finishes.
+	// 0 retains terminal sessions forever. Running sessions are never
+	// evicted regardless of age.
+	SessionTTL time.Duration
+	// MaxSessions caps retained sessions; when exceeded, terminal
+	// sessions are evicted oldest-first. 0 means unbounded. The cap can
+	// be transiently exceeded when more than MaxSessions runs are
+	// in flight, since running sessions are never evicted.
+	MaxSessions int
+	// Shards is the session-store shard count (< 1 selects the default,
+	// 16). More shards reduce lock contention under concurrent traffic.
+	Shards int
+	// JanitorInterval is how often TTL/cap eviction runs in the
+	// background. 0 derives it from SessionTTL (TTL/4, clamped to
+	// [100ms, 30s]); with no TTL it defaults to 30s.
+	JanitorInterval time.Duration
+}
+
+func (c Config) janitorInterval() time.Duration {
+	if c.JanitorInterval > 0 {
+		return c.JanitorInterval
+	}
+	iv := 30 * time.Second
+	if c.SessionTTL > 0 {
+		iv = c.SessionTTL / 4
+	}
+	return min(max(iv, 100*time.Millisecond), 30*time.Second)
+}
+
+// Manager owns the problem registry, the session store, and the lifecycle
+// policy that keeps a long-lived daemon's memory bounded.
 type Manager struct {
-	mu       sync.Mutex
+	mu       sync.Mutex // guards problems, caches, closed
 	problems map[string]Problem
 	caches   map[string]*core.EvalCache // shared per problem
-	runs     map[string]*session
-	closed   bool // Shutdown has begun; no new sessions
+	closed   bool                       // Shutdown has begun; no new sessions
+
+	cfg        Config
+	store      SessionStore
+	evictMu    sync.Mutex   // serializes eviction passes (janitor vs Start)
+	evictedTTL atomic.Int64 // sessions evicted by TTL expiry
+	evictedCap atomic.Int64 // sessions evicted by the MaxSessions cap
+
 	seq      atomic.Int64
 	wg       sync.WaitGroup
 	baseCtx  context.Context
 	baseStop context.CancelFunc
 }
 
-// NewManager returns a manager with the given problems registered.
+// NewManager returns a manager with the given problems registered and no
+// eviction: every session is retained until Shutdown.
 func NewManager(problems ...Problem) *Manager {
+	return NewManagerConfig(Config{}, problems...)
+}
+
+// NewManagerConfig returns a manager with the given lifecycle config. If
+// the config enables any eviction (TTL or cap), a janitor goroutine runs
+// until Shutdown.
+func NewManagerConfig(cfg Config, problems ...Problem) *Manager {
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
 		problems: make(map[string]Problem),
 		caches:   make(map[string]*core.EvalCache),
-		runs:     make(map[string]*session),
+		cfg:      cfg,
+		store:    newShardedStore(cfg.Shards),
 		baseCtx:  ctx,
 		baseStop: stop,
 	}
 	for _, p := range problems {
 		m.Register(p)
+	}
+	if cfg.SessionTTL > 0 || cfg.MaxSessions > 0 {
+		m.wg.Add(1)
+		go m.janitor(cfg.janitorInterval())
 	}
 	return m
 }
@@ -348,37 +220,42 @@ func (m *Manager) Cache(problem string) (*core.EvalCache, bool) {
 	return c, ok
 }
 
-// Start launches one exploration session and returns its id.
-func (m *Manager) Start(req RunRequest) (string, error) {
+// Start launches one exploration session and returns its initial status.
+// The status is taken before the session enters the store: with eviction
+// enabled, a later lookup by id is allowed to miss.
+func (m *Manager) Start(req RunRequest) (RunStatus, error) {
 	if err := req.validate(); err != nil {
-		return "", err
+		return RunStatus{}, err
 	}
 	m.mu.Lock()
 	if m.closed {
 		m.mu.Unlock()
-		return "", ErrShuttingDown
+		return RunStatus{}, ErrShuttingDown
 	}
 	p, ok := m.problems[req.Problem]
 	if !ok {
 		m.mu.Unlock()
-		return "", fmt.Errorf("%w: %q", ErrUnknownProblem, req.Problem)
+		return RunStatus{}, fmt.Errorf("%w: %q", ErrUnknownProblem, req.Problem)
 	}
 	cache := m.caches[req.Problem]
 	if req.NoCache {
 		cache = nil
 	}
-	id := fmt.Sprintf("run-%06d", m.seq.Add(1))
+	seq := m.seq.Add(1)
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	s := &session{
-		id:      id,
+		id:      fmt.Sprintf("run-%06d", seq),
+		seq:     seq,
 		problem: p,
 		created: time.Now(),
 		cancel:  cancel,
 		state:   StateRunning,
 	}
-	m.runs[id] = s
 	m.wg.Add(1)
 	m.mu.Unlock()
+	st := s.status()
+	m.store.Put(s)
+	m.enforceCap()
 
 	opts := core.Options{
 		Objectives:    len(p.Objectives),
@@ -399,46 +276,94 @@ func (m *Manager) Start(req RunRequest) (string, error) {
 		s.finish(res, err)
 		cancel()
 	}()
-	return id, nil
+	return st, nil
 }
 
-// Get returns a session by id.
+// Get returns a session by id. With eviction enabled, a previously valid
+// id can legitimately miss.
 func (m *Manager) Get(id string) (*session, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	s, ok := m.runs[id]
-	return s, ok
+	return m.store.Get(id)
 }
 
-// Statuses lists every session, newest first.
+// Statuses lists every retained session, newest first by run sequence.
+// (Comparing ids as strings would break past run-999999: "run-1000000"
+// sorts before "run-999999" lexicographically.)
 func (m *Manager) Statuses() []RunStatus {
-	m.mu.Lock()
-	sessions := make([]*session, 0, len(m.runs))
-	for _, s := range m.runs {
-		sessions = append(sessions, s)
-	}
-	m.mu.Unlock()
+	sessions := m.store.Snapshot()
+	sort.Slice(sessions, func(i, j int) bool { return sessions[i].seq > sessions[j].seq })
 	out := make([]RunStatus, len(sessions))
 	for i, s := range sessions {
 		out[i] = s.status()
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].ID > out[j].ID })
 	return out
 }
 
-// Cancel requests cancellation of a session. It reports whether the id
-// exists; cancelling a terminal session is a no-op.
-func (m *Manager) Cancel(id string) bool {
-	s, ok := m.Get(id)
+// Cancel requests cancellation of a session and returns its post-cancel
+// status in one atomic step; ok reports whether the id exists. Cancelling
+// a terminal session is a no-op. Callers must not look the id up again to
+// get the status — with eviction, a second lookup can legitimately miss.
+func (m *Manager) Cancel(id string) (RunStatus, bool) {
+	s, ok := m.store.Get(id)
 	if !ok {
-		return false
+		return RunStatus{}, false
 	}
+	// The session pointer stays valid even if eviction removes it from
+	// the store between these two lines.
 	s.cancel()
-	return true
+	return s.status(), true
 }
 
-// Shutdown refuses new sessions, cancels every running one, and waits (up
-// to the context deadline) for their goroutines to drain.
+// Stats is the GET /stats body: store occupancy and eviction counters.
+type Stats struct {
+	// Sessions is the retained count; Running and Terminal split it.
+	Sessions int `json:"sessions"`
+	Running  int `json:"running"`
+	Terminal int `json:"terminal"`
+	// TotalStarted counts every session ever launched, including evicted
+	// ones.
+	TotalStarted int64 `json:"total_started"`
+	// EvictedTTL and EvictedCap count sessions dropped by TTL expiry and
+	// by the MaxSessions cap.
+	EvictedTTL int64 `json:"evicted_ttl"`
+	EvictedCap int64 `json:"evicted_cap"`
+	// Configuration echoes, so operators can confirm what a daemon runs
+	// with: session_ttl_s is 0 when TTL eviction is off, max_sessions 0
+	// when unbounded.
+	Shards      int     `json:"shards"`
+	MaxSessions int     `json:"max_sessions"`
+	SessionTTLS float64 `json:"session_ttl_s"`
+	Problems    int     `json:"problems"`
+}
+
+// Stats reports store occupancy, eviction counters, and the lifecycle
+// configuration.
+func (m *Manager) Stats() Stats {
+	st := Stats{
+		TotalStarted: m.seq.Load(),
+		EvictedTTL:   m.evictedTTL.Load(),
+		EvictedCap:   m.evictedCap.Load(),
+		Shards:       m.cfg.Shards,
+		MaxSessions:  m.cfg.MaxSessions,
+		SessionTTLS:  m.cfg.SessionTTL.Seconds(),
+		Problems:     len(m.Problems()),
+	}
+	if st.Shards < 1 {
+		st.Shards = defaultShards
+	}
+	for _, s := range m.store.Snapshot() {
+		st.Sessions++
+		if state, _ := s.terminalInfo(); state.Terminal() {
+			st.Terminal++
+		} else {
+			st.Running++
+		}
+	}
+	return st
+}
+
+// Shutdown refuses new sessions, cancels every running one, stops the
+// janitor, and waits (up to the context deadline) for their goroutines to
+// drain.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	m.closed = true // every wg.Add happened-before this; Wait is now safe
@@ -455,150 +380,4 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
-}
-
-// Handler returns the REST API for the manager.
-func (m *Manager) Handler() http.Handler {
-	mux := http.NewServeMux()
-
-	mux.HandleFunc("GET /problems", func(w http.ResponseWriter, r *http.Request) {
-		type probJSON struct {
-			Name        string   `json:"name"`
-			Description string   `json:"description,omitempty"`
-			SpaceSize   int64    `json:"space_size"`
-			Parameters  []string `json:"parameters"`
-			Objectives  []string `json:"objectives"`
-		}
-		var out []probJSON
-		for _, p := range m.Problems() {
-			out = append(out, probJSON{
-				Name:        p.Name,
-				Description: p.Description,
-				SpaceSize:   p.Space.Size(),
-				Parameters:  p.Space.Names(),
-				Objectives:  p.Objectives,
-			})
-		}
-		writeJSON(w, http.StatusOK, out)
-	})
-
-	mux.HandleFunc("POST /runs", func(w http.ResponseWriter, r *http.Request) {
-		// A RunRequest is a handful of scalars; cap the body so one client
-		// cannot buffer gigabytes into the shared daemon.
-		r.Body = http.MaxBytesReader(w, r.Body, 1<<16)
-		var req RunRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("parsing request: %w", err))
-			return
-		}
-		id, err := m.Start(req)
-		if err != nil {
-			code := http.StatusBadRequest
-			switch {
-			case errors.Is(err, ErrUnknownProblem):
-				code = http.StatusNotFound
-			case errors.Is(err, ErrShuttingDown):
-				code = http.StatusServiceUnavailable
-			}
-			writeError(w, code, err)
-			return
-		}
-		s, _ := m.Get(id)
-		w.Header().Set("Location", "/runs/"+id)
-		writeJSON(w, http.StatusCreated, s.status())
-	})
-
-	mux.HandleFunc("GET /runs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, m.Statuses())
-	})
-
-	mux.HandleFunc("GET /runs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		s, ok := m.Get(r.PathValue("id"))
-		if !ok {
-			writeError(w, http.StatusNotFound, errors.New("no such run"))
-			return
-		}
-		writeJSON(w, http.StatusOK, s.status())
-	})
-
-	mux.HandleFunc("GET /runs/{id}/front", func(w http.ResponseWriter, r *http.Request) {
-		s, ok := m.Get(r.PathValue("id"))
-		if !ok {
-			writeError(w, http.StatusNotFound, errors.New("no such run"))
-			return
-		}
-		s.mu.Lock()
-		res, state := s.result, s.state
-		s.mu.Unlock()
-		if res == nil {
-			writeError(w, http.StatusConflict,
-				fmt.Errorf("run is %s; front not available yet", state))
-			return
-		}
-		sf := core.NewStoredFront(s.problem.Space, res, s.problem.Name, "", s.problem.Objectives)
-		writeJSON(w, http.StatusOK, sf)
-	})
-
-	mux.HandleFunc("GET /runs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
-		s, ok := m.Get(r.PathValue("id"))
-		if !ok {
-			writeError(w, http.StatusNotFound, errors.New("no such run"))
-			return
-		}
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		w.WriteHeader(http.StatusOK)
-		flusher, _ := w.(http.Flusher)
-		if flusher != nil {
-			// Push the headers out now: the first event may be minutes
-			// away (real SLAM bootstraps), and clients with response-header
-			// timeouts would otherwise abort before seeing anything.
-			flusher.Flush()
-		}
-		enc := json.NewEncoder(w)
-		wake := s.subscribe()
-		defer s.unsubscribe(wake)
-		cursor := 0
-		for {
-			fresh, next, terminal := s.eventsSince(cursor)
-			cursor = next
-			for _, ev := range fresh {
-				if enc.Encode(ev) != nil {
-					return
-				}
-			}
-			if flusher != nil && len(fresh) > 0 {
-				flusher.Flush()
-			}
-			if terminal {
-				return
-			}
-			select {
-			case <-wake:
-			case <-r.Context().Done():
-				return
-			}
-		}
-	})
-
-	mux.HandleFunc("DELETE /runs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		id := r.PathValue("id")
-		if !m.Cancel(id) {
-			writeError(w, http.StatusNotFound, errors.New("no such run"))
-			return
-		}
-		s, _ := m.Get(id)
-		writeJSON(w, http.StatusAccepted, s.status())
-	})
-
-	return mux
-}
-
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
-}
-
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
 }

@@ -387,7 +387,8 @@ func TestAPIErrors(t *testing.T) {
 	}
 	resp.Body.Close()
 
-	for _, path := range []string{"/runs/run-999999", "/runs/run-999999/front", "/runs/run-999999/events"} {
+	// Unknown ids 404 whether or not they parse as a run sequence.
+	for _, path := range []string{"/runs/run-999999", "/runs/run-999999/front", "/runs/run-999999/events", "/runs/bogus", "/runs/bogus/front"} {
 		r, _ := http.Get(ts.URL + path)
 		if r.StatusCode != http.StatusNotFound {
 			t.Fatalf("GET %s = %d", path, r.StatusCode)

@@ -1,0 +1,209 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// State enumerates a session's lifecycle.
+type State string
+
+const (
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateCancelled State = "cancelled"
+	StateFailed    State = "failed"
+)
+
+// Terminal reports whether no further progress events can arrive.
+func (s State) Terminal() bool { return s != StateRunning }
+
+// IterationEvent is one progress record: the bootstrap (iteration 0) or an
+// active-learning round. The *_ms fields are the engine's per-phase
+// wall-clock timings (forest fit, pool encode, pool predict, hardware
+// evaluation) in milliseconds, so dashboards tailing /events can see where
+// optimizer time goes in production. They are never omitted: a phase that
+// measured 0 ms (or was skipped, like fit during the bootstrap) still
+// reports 0, so sub-millisecond timings and true zeros are
+// distinguishable from "field missing" by strict consumers.
+type IterationEvent struct {
+	Iteration          int       `json:"iteration"`
+	PredictedFrontSize int       `json:"predicted_front_size,omitempty"`
+	NewSamples         int       `json:"new_samples"`
+	TotalSamples       int       `json:"total_samples"`
+	FrontSize          int       `json:"front_size"`
+	OOBError           []float64 `json:"oob_error,omitempty"`
+	CacheHits          int       `json:"cache_hits"`
+	CacheMisses        int       `json:"cache_misses"`
+	FitMS              float64   `json:"fit_ms"`
+	EncodeMS           float64   `json:"encode_ms"`
+	PredictMS          float64   `json:"predict_ms"`
+	EvalMS             float64   `json:"eval_ms"`
+}
+
+// RunStatus is the GET /runs/{id} body.
+type RunStatus struct {
+	ID          string           `json:"id"`
+	Problem     string           `json:"problem"`
+	State       State            `json:"state"`
+	Created     time.Time        `json:"created"`
+	Samples     int              `json:"samples"`
+	FrontSize   int              `json:"front_size"`
+	Converged   bool             `json:"converged"`
+	CacheHits   int              `json:"cache_hits"`
+	CacheMisses int              `json:"cache_misses"`
+	Error       string           `json:"error,omitempty"`
+	Iterations  []IterationEvent `json:"iterations"`
+}
+
+// session is one managed exploration.
+type session struct {
+	id      string
+	seq     int64 // numeric run sequence; orders sessions and picks the store shard
+	problem Problem
+	created time.Time
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	state    State
+	finished time.Time // when state went terminal; zero while running
+	events   []IterationEvent
+	subs     map[chan struct{}]struct{} // wake signals for event streamers
+	result   *core.Result
+	err      error
+}
+
+func toEvent(s core.IterationStats) IterationEvent {
+	return IterationEvent{
+		Iteration:          s.Iteration,
+		PredictedFrontSize: s.PredictedFrontSize,
+		NewSamples:         s.NewSamples,
+		TotalSamples:       s.TotalSamples,
+		FrontSize:          s.FrontSize,
+		OOBError:           s.OOBError,
+		CacheHits:          s.CacheHits,
+		CacheMisses:        s.CacheMisses,
+		FitMS:              durationMS(s.FitTime),
+		EncodeMS:           durationMS(s.EncodeTime),
+		PredictMS:          durationMS(s.PredictTime),
+		EvalMS:             durationMS(s.EvalTime),
+	}
+}
+
+func durationMS(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}
+
+// publish records a progress event and wakes event streamers. Streamers
+// read from the shared history by cursor, so a stalled subscriber misses
+// wake-ups (they coalesce) but never events.
+func (s *session) publish(ev IterationEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = append(s.events, ev)
+	s.wakeLocked()
+}
+
+func (s *session) wakeLocked() {
+	for ch := range s.subs {
+		select {
+		case ch <- struct{}{}:
+		default: // a wake-up is already pending
+		}
+	}
+}
+
+// finish moves the session to a terminal state. A run stopped by
+// cancellation reports context.Canceled from RunContext; a nil error means
+// the run completed even if its context was cancelled moments later.
+func (s *session) finish(res *core.Result, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.result = res
+	switch {
+	case errors.Is(err, context.Canceled):
+		s.state = StateCancelled
+	case err != nil:
+		s.state = StateFailed
+		s.err = err
+	default:
+		s.state = StateDone
+	}
+	s.finished = time.Now()
+	s.wakeLocked()
+}
+
+// terminalInfo returns the state and, if terminal, when it became so.
+func (s *session) terminalInfo() (State, time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state, s.finished
+}
+
+// subscribe registers a wake channel for the event stream.
+func (s *session) subscribe() chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan struct{}, 1)
+	if s.subs == nil {
+		s.subs = make(map[chan struct{}]struct{})
+	}
+	s.subs[ch] = struct{}{}
+	return ch
+}
+
+func (s *session) unsubscribe(ch chan struct{}) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.subs, ch)
+}
+
+// eventsSince returns the events recorded past the cursor, the new cursor,
+// and whether the session is terminal — one consistent snapshot, so a
+// streamer that sees (no new events, terminal) can stop knowing it missed
+// nothing.
+func (s *session) eventsSince(cursor int) ([]IterationEvent, int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cursor > len(s.events) {
+		cursor = len(s.events)
+	}
+	fresh := append([]IterationEvent(nil), s.events[cursor:]...)
+	return fresh, len(s.events), s.state.Terminal()
+}
+
+func (s *session) status() RunStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := RunStatus{
+		ID:      s.id,
+		Problem: s.problem.Name,
+		State:   s.state,
+		Created: s.created,
+		// Never nil: before the first event this must marshal as [], not
+		// null, for strict clients.
+		Iterations: append(make([]IterationEvent, 0, len(s.events)), s.events...),
+	}
+	if s.result != nil {
+		st.Samples = len(s.result.Samples)
+		st.FrontSize = len(s.result.Front)
+		st.Converged = s.result.Converged
+		st.CacheHits = s.result.CacheHits
+		st.CacheMisses = s.result.CacheMisses
+	} else if n := len(s.events); n > 0 {
+		st.Samples = s.events[n-1].TotalSamples
+		st.FrontSize = s.events[n-1].FrontSize
+		for _, ev := range s.events {
+			st.CacheHits += ev.CacheHits
+			st.CacheMisses += ev.CacheMisses
+		}
+	}
+	if s.err != nil {
+		st.Error = s.err.Error()
+	}
+	return st
+}

@@ -1,0 +1,223 @@
+package server
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SessionStore holds the manager's live and retained sessions. The manager
+// owns session lifecycle (creation, eviction policy); the store only
+// provides concurrent-safe placement and lookup. Implementations must be
+// safe for concurrent use from many HTTP handlers at once.
+//
+// This indirection is what the roadmap's persistent-store and multi-daemon
+// items build on: handlers never assume a session lives forever in one
+// process-local map — any Get can miss, and every handler must treat a
+// missing id as "gone", not "bug".
+type SessionStore interface {
+	// Put places a session; the key is the session's numeric sequence.
+	Put(s *session)
+	// Get returns the session with the given id, if retained.
+	Get(id string) (*session, bool)
+	// Delete removes a session and reports whether it was present.
+	Delete(id string) bool
+	// Snapshot returns all retained sessions in no particular order.
+	Snapshot() []*session
+	// Len reports the number of retained sessions.
+	Len() int
+}
+
+const (
+	runIDPrefix   = "run-"
+	defaultShards = 16
+)
+
+// parseSeq extracts the numeric sequence from a "run-%06d" id. Ids the
+// manager never minted (wrong prefix, non-numeric) report ok=false.
+func parseSeq(id string) (int64, bool) {
+	rest, found := strings.CutPrefix(id, runIDPrefix)
+	if !found {
+		return 0, false
+	}
+	seq, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil || seq < 0 {
+		return 0, false
+	}
+	return seq, true
+}
+
+// shardedStore is the in-memory SessionStore: N independently locked
+// shards keyed by the run sequence, so concurrent POST/GET/DELETE traffic
+// spreads across locks instead of serializing on one mutex. Run sequences
+// are assigned round-robin by the manager, so consecutive sessions land on
+// consecutive shards.
+type shardedStore struct {
+	shards []storeShard
+}
+
+type storeShard struct {
+	mu   sync.RWMutex
+	runs map[int64]*session
+}
+
+// newShardedStore returns a store with n shards (n < 1 selects the
+// default).
+func newShardedStore(n int) *shardedStore {
+	if n < 1 {
+		n = defaultShards
+	}
+	st := &shardedStore{shards: make([]storeShard, n)}
+	for i := range st.shards {
+		st.shards[i].runs = make(map[int64]*session)
+	}
+	return st
+}
+
+func (st *shardedStore) shardFor(seq int64) *storeShard {
+	return &st.shards[int(seq%int64(len(st.shards)))]
+}
+
+func (st *shardedStore) Put(s *session) {
+	sh := st.shardFor(s.seq)
+	sh.mu.Lock()
+	sh.runs[s.seq] = s
+	sh.mu.Unlock()
+}
+
+func (st *shardedStore) Get(id string) (*session, bool) {
+	seq, ok := parseSeq(id)
+	if !ok {
+		return nil, false
+	}
+	sh := st.shardFor(seq)
+	sh.mu.RLock()
+	s, ok := sh.runs[seq]
+	sh.mu.RUnlock()
+	if !ok || s.id != id {
+		// Only the exact minted id resolves: a non-canonical spelling of
+		// the same sequence ("run-7", "run-+7") must not reach — let alone
+		// cancel — another client's "run-000007".
+		return nil, false
+	}
+	return s, true
+}
+
+func (st *shardedStore) Delete(id string) bool {
+	seq, ok := parseSeq(id)
+	if !ok {
+		return false
+	}
+	sh := st.shardFor(seq)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.runs[seq]
+	if !ok || s.id != id {
+		return false
+	}
+	delete(sh.runs, seq)
+	return true
+}
+
+func (st *shardedStore) Snapshot() []*session {
+	out := make([]*session, 0, st.Len())
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.runs {
+			out = append(out, s)
+		}
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+func (st *shardedStore) Len() int {
+	n := 0
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.RLock()
+		n += len(sh.runs)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// --- lifecycle: TTL and cap eviction ---------------------------------------
+
+// evictExpired removes terminal sessions whose TTL has lapsed. Running
+// sessions are never evicted: their goroutine is still producing events
+// and their cancel handle must stay reachable.
+func (m *Manager) evictExpired(now time.Time) {
+	if m.cfg.SessionTTL <= 0 {
+		return
+	}
+	m.evictMu.Lock()
+	defer m.evictMu.Unlock()
+	for _, s := range m.store.Snapshot() {
+		state, finished := s.terminalInfo()
+		if state.Terminal() && now.Sub(finished) >= m.cfg.SessionTTL {
+			if m.store.Delete(s.id) {
+				m.evictedTTL.Add(1)
+			}
+		}
+	}
+}
+
+// enforceCap evicts oldest-terminal-first until the store is back under
+// MaxSessions. If every excess session is still running, nothing is
+// evicted — the store temporarily exceeds the cap rather than killing
+// in-flight work.
+func (m *Manager) enforceCap() {
+	if m.cfg.MaxSessions <= 0 {
+		return
+	}
+	// Serialized with evictExpired: two concurrent passes (Start's
+	// synchronous call racing a janitor tick) would each compute excess
+	// from the same Len and together evict below the cap.
+	m.evictMu.Lock()
+	defer m.evictMu.Unlock()
+	excess := m.store.Len() - m.cfg.MaxSessions
+	if excess <= 0 {
+		return
+	}
+	var terminal []*session
+	for _, s := range m.store.Snapshot() {
+		if state, _ := s.terminalInfo(); state.Terminal() {
+			terminal = append(terminal, s)
+		}
+	}
+	// Oldest first by creation sequence, so retained history is always the
+	// newest runs.
+	sort.Slice(terminal, func(i, j int) bool { return terminal[i].seq < terminal[j].seq })
+	for _, s := range terminal {
+		if excess <= 0 {
+			return
+		}
+		if m.store.Delete(s.id) {
+			m.evictedCap.Add(1)
+			excess--
+		}
+	}
+}
+
+// janitor periodically applies TTL and cap eviction until the manager's
+// base context is cancelled (Shutdown). Cap pressure is also relieved
+// synchronously on Start; the janitor catches sessions that turned
+// terminal since, and is the only driver of TTL expiry.
+func (m *Manager) janitor(interval time.Duration) {
+	defer m.wg.Done()
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.baseCtx.Done():
+			return
+		case now := <-t.C:
+			m.evictExpired(now)
+			m.enforceCap()
+		}
+	}
+}
