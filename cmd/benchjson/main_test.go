@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParse(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: repro/internal/forest
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkForestFit/presorted/n=200-8   360   6239555 ns/op   399676 B/op   320 allocs/op
+BenchmarkALIteration/incremental-8     10    1.5e+08 ns/op   2.25 fit-ms
+PASS
+ok  	repro/internal/forest	18.812s
+`
+	base, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Goos != "linux" || base.Goarch != "amd64" || base.CPU == "" {
+		t.Fatalf("header not parsed: %+v", base)
+	}
+	if len(base.Results) != 2 {
+		t.Fatalf("parsed %d results, want 2", len(base.Results))
+	}
+	r := base.Results[0]
+	if r.Name != "BenchmarkForestFit/presorted/n=200" || r.Procs != 8 || r.Package != "repro/internal/forest" {
+		t.Fatalf("first result: %+v", r)
+	}
+	if r.Iterations != 360 || r.Metrics["ns/op"] != 6239555 || r.Metrics["allocs/op"] != 320 {
+		t.Fatalf("first result metrics: %+v", r)
+	}
+	if got := base.Results[1].Metrics["fit-ms"]; got != 2.25 {
+		t.Fatalf("custom metric = %v, want 2.25", got)
+	}
+}
+
+func TestParseIgnoresNonResultBenchmarkLines(t *testing.T) {
+	// `-benchtime 1x` failures or log lines starting with Benchmark must not
+	// corrupt the artifact.
+	base, err := parse(strings.NewReader("BenchmarkBroken failed\nBenchmarkOdd 1 2 ns/op extra\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Results) != 0 {
+		t.Fatalf("parsed %d results from junk, want 0", len(base.Results))
+	}
+}

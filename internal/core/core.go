@@ -16,11 +16,12 @@
 package core
 
 import (
+	"cmp"
 	"context"
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -143,7 +144,12 @@ type IterationStats struct {
 	NewSamples         int       // |P − X_out| actually evaluated
 	TotalSamples       int       // |X_out| after the round
 	FrontSize          int       // measured front size after the round
-	OOBError           []float64 // per-objective forest OOB MSE
+	OOBError           []float64 // per-objective forest OOB MSE (NaN when undefined)
+	// OOBSamples counts, per objective, how many training samples the OOB
+	// estimate aggregates over. 0 means the matching OOBError is NaN — no
+	// sample ever fell out of bag (tiny training sets) — which is distinct
+	// from a measured error of zero.
+	OOBSamples []int
 	// CacheHits/CacheMisses count evaluator memo-cache lookups for this
 	// round's batch (both zero when Options.Cache is nil).
 	CacheHits   int
@@ -252,6 +258,13 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 	if o.Cache != nil {
 		o.cache = o.Cache.view(spaceFingerprint(space, o.Objectives))
 	}
+	if o.legacyState {
+		// The reference path re-sorts every node segment during tree
+		// training, exactly like the pre-presorted engine; forests stay
+		// byte-identical to the fast builder, so the equivalence tests can
+		// compare whole runs.
+		o.Forest.Reference = true
+	}
 	rng := rand.New(rand.NewSource(o.Seed))
 
 	res := &Result{}
@@ -317,13 +330,26 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 		fitStart := time.Now()
 		var forests []*forest.Forest
 		var oob []float64
+		var oobN []int
 		if st != nil {
-			forests, oob, err = fitForests(ctx, st.xRows, st.ys, o, iter)
+			// Warm path: append the fresh batch to the shared presorted
+			// matrix and refit every objective from it.
+			var cols *forest.Columns
+			cols, err = st.columns()
+			if err == nil {
+				forests, oob, oobN, err = fitForests(ctx, cols, st.ys, o, iter)
+			}
 		} else {
+			// Legacy reference path: re-encode the training matrix and
+			// rebuild the column transpose from scratch, every iteration.
 			var x, ys [][]float64
 			x, ys, err = trainingMatrix(space, res.Samples, o.Objectives)
 			if err == nil {
-				forests, oob, err = fitForests(ctx, x, ys, o, iter)
+				var cols *forest.Columns
+				cols, err = forest.ColumnsFromRows(x)
+				if err == nil {
+					forests, oob, oobN, err = fitForests(ctx, cols, ys, o, iter)
+				}
 			}
 		}
 		fitTime := time.Since(fitStart)
@@ -374,6 +400,7 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 				TotalSamples:       len(res.Samples),
 				FrontSize:          len(measuredFront(res.Samples)),
 				OOBError:           oob,
+				OOBSamples:         oobN,
 				FitTime:            fitTime,
 				EncodeTime:         encodeTime,
 				PredictTime:        predictTime,
@@ -406,6 +433,7 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 			TotalSamples:       len(res.Samples),
 			FrontSize:          len(front),
 			OOBError:           oob,
+			OOBSamples:         oobN,
 			CacheHits:          hits,
 			CacheMisses:        misses,
 			FitTime:            fitTime,
@@ -541,13 +569,15 @@ func trainingMatrix(space *param.Space, samples []Sample, objectives int) (x, ys
 	return x, ys, nil
 }
 
-// fitForests trains one regressor per objective on the training matrix x
-// with per-objective target columns ys. The per-objective fits are
-// independent and run in parallel, with the worker budget split between
-// them so the tree-level parallelism inside each forest.Fit does not
-// oversubscribe the machine by a factor of Objectives. Cancellation is
-// checked before each fit starts.
-func fitForests(ctx context.Context, x, ys [][]float64, o Options, iter int) ([]*forest.Forest, []float64, error) {
+// fitForests trains one regressor per objective over the shared presorted
+// column matrix with per-objective target columns ys. The per-objective
+// fits are independent, only read cols, and run in parallel, with the
+// worker budget split between them so the tree-level parallelism inside
+// each forest.Refit does not oversubscribe the machine by a factor of
+// Objectives. Cancellation is checked before each fit starts. Alongside the
+// forests it returns each one's OOB error and the sample count behind it
+// (0 ⇒ the error is NaN/undefined, not perfect).
+func fitForests(ctx context.Context, cols *forest.Columns, ys [][]float64, o Options, iter int) ([]*forest.Forest, []float64, []int, error) {
 	// Forest.Workers (or, unset, the run's Workers) bounds the TOTAL
 	// tree-fitting parallelism; divide it across the concurrent
 	// per-objective fits.
@@ -561,6 +591,7 @@ func fitForests(ctx context.Context, x, ys [][]float64, o Options, iter int) ([]
 	}
 	forests := make([]*forest.Forest, o.Objectives)
 	oob := make([]float64, o.Objectives)
+	oobN := make([]int, o.Objectives)
 	errs := make([]error, o.Objectives)
 	par.ForWorkers(o.Objectives, o.Workers, func(k int) {
 		if err := ctx.Err(); err != nil {
@@ -570,20 +601,21 @@ func fitForests(ctx context.Context, x, ys [][]float64, o Options, iter int) ([]
 		fo := o.Forest
 		fo.Workers = innerWorkers
 		fo.Seed = o.Seed + int64(k)*7_919 + int64(iter)*104_729
-		f, err := forest.Fit(x, ys[k], fo)
+		f, err := forest.Refit(cols, ys[k], fo)
 		if err != nil {
 			errs[k] = err
 			return
 		}
 		forests[k] = f
 		oob[k] = f.OOBError()
+		oobN[k] = f.OOBSamples()
 	})
 	for _, err := range errs {
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 	}
-	return forests, oob, nil
+	return forests, oob, oobN, nil
 }
 
 // predictionPool returns the pool X of Algorithm 1: the whole space when it
@@ -612,7 +644,7 @@ func predictionPool(space *param.Space, rng *rand.Rand, poolCap int, evaluated m
 			extra = append(extra, idx)
 		}
 	}
-	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+	slices.Sort(extra)
 	return append(pool, extra...)
 }
 
@@ -651,6 +683,6 @@ func FrontSamples(res *Result) []Sample {
 			out = append(out, s)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Objs[0] < out[j].Objs[0] })
+	slices.SortFunc(out, func(a, b Sample) int { return cmp.Compare(a.Objs[0], b.Objs[0]) })
 	return out
 }

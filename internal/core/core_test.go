@@ -343,6 +343,17 @@ func TestIterationStatsConsistent(t *testing.T) {
 		if len(it.OOBError) != 2 {
 			t.Fatalf("OOB errors per objective = %v", it.OOBError)
 		}
+		if len(it.OOBSamples) != 2 {
+			t.Fatalf("OOB sample counts per objective = %v", it.OOBSamples)
+		}
+		for k := range it.OOBError {
+			// The undefined marker is consistent: NaN exactly when no
+			// sample was out of bag.
+			if math.IsNaN(it.OOBError[k]) != (it.OOBSamples[k] == 0) {
+				t.Fatalf("iteration %d objective %d: OOB error %v with %d OOB samples",
+					it.Iteration, k, it.OOBError[k], it.OOBSamples[k])
+			}
+		}
 	}
 	if total != len(res.Samples) {
 		t.Fatalf("stats total %d != samples %d", total, len(res.Samples))

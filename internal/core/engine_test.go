@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/forest"
 	"repro/internal/param"
 )
 
@@ -531,6 +533,7 @@ func BenchmarkALIteration(b *testing.B) {
 	} {
 		b.Run(mode.name, func(b *testing.B) {
 			b.ReportAllocs()
+			var fit time.Duration
 			for i := 0; i < b.N; i++ {
 				opts := Options{
 					Objectives:    2,
@@ -540,8 +543,96 @@ func BenchmarkALIteration(b *testing.B) {
 					Seed:          int64(i + 1),
 				}
 				opts.legacyState = mode.legacy
-				if _, err := Run(space, eval, opts); err != nil {
+				res, err := Run(space, eval, opts)
+				if err != nil {
 					b.Fatal(err)
+				}
+				for _, it := range res.Iterations {
+					fit += it.FitTime
+				}
+			}
+			// Per-run forest-fitting wall clock, so the bench logs track the
+			// fit path (warm-started presorted refits vs the legacy rebuild)
+			// alongside the whole-iteration timing.
+			b.ReportMetric(fit.Seconds()*1e3/float64(b.N), "fit-ms")
+		})
+	}
+}
+
+// BenchmarkALIterationFit isolates fitForests across a growing
+// active-learning run — the exact call pattern of the engine's fit phase:
+// bootstrap-sized training set, then one refit per objective per iteration
+// as measured batches append. The incremental mode reuses one shared
+// presorted Columns (the poolState seam); the legacy mode re-encodes and
+// rebuilds the matrix every iteration and trains with the retained
+// re-sorting reference builder, like the pre-presorted engine did.
+func BenchmarkALIterationFit(b *testing.B) {
+	space := param.MustSpace(
+		param.Grid("a", 0, 4, 40),
+		param.Grid("b", 0, 4, 40),
+		param.Levels("c", 1, 2, 3),
+	)
+	eval := benchEval(space)
+	const bootstrap, batch, iters, objectives = 50, 75, 6, 2
+	rng := rand.New(rand.NewSource(1))
+	total := bootstrap + batch*(iters-1)
+	idxs := space.SampleIndices(rng, total)
+	samples := make([]Sample, total)
+	for i, idx := range idxs {
+		cfg := space.AtIndex(idx)
+		samples[i] = Sample{Index: idx, Config: cfg, Objs: eval.Evaluate(cfg)}
+	}
+	ctx := context.Background()
+
+	for _, mode := range []struct {
+		name   string
+		legacy bool
+	}{
+		{"incremental", false},
+		{"legacy", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				o := Options{Objectives: objectives, Seed: int64(i + 1)}.withDefaults()
+				o.legacyState = mode.legacy
+				o.Forest.Reference = mode.legacy
+				st := newPoolState(space, o)
+				n := 0
+				for iter := 1; iter <= iters; iter++ {
+					grow := batch
+					if iter == 1 {
+						grow = bootstrap
+					}
+					for _, s := range samples[n : n+grow] {
+						if err := st.addSample(s); err != nil {
+							b.Fatal(err)
+						}
+					}
+					n += grow
+					var err error
+					if mode.legacy {
+						// Re-encode and re-transpose everything, like
+						// trainingMatrix + ColumnsFromRows per iteration.
+						var x, ys [][]float64
+						x, ys, err = trainingMatrix(space, samples[:n], objectives)
+						if err == nil {
+							var cols *forest.Columns
+							cols, err = forest.ColumnsFromRows(x)
+							if err == nil {
+								_, _, _, err = fitForests(ctx, cols, ys, o, iter)
+							}
+						}
+					} else {
+						var cols *forest.Columns
+						cols, err = st.columns()
+						if err == nil {
+							_, _, _, err = fitForests(ctx, cols, st.ys, o, iter)
+						}
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
 				}
 			}
 		})

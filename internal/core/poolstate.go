@@ -44,6 +44,14 @@ type poolState struct {
 	xRows [][]float64
 	ys    [][]float64
 
+	// Presorted column-major view of xRows, shared by every objective's
+	// forest fit and warm-started across iterations: rows measured since the
+	// last fit are appended and their per-feature sorted orders merged
+	// incrementally (forest.Columns), so refits never re-transpose or
+	// re-argsort the accumulated training set.
+	cols     *forest.Columns
+	colsRows int // prefix of xRows already appended to cols
+
 	// Prediction scratch, grown on demand and reused.
 	pred   [][]float64    // per-objective prediction columns over the pool
 	objs   []float64      // point-major objective backing (len(poolIdx)*k)
@@ -78,6 +86,20 @@ func (st *poolState) addSample(s Sample) error {
 		st.ys[j] = append(st.ys[j], s.Objs[j])
 	}
 	return nil
+}
+
+// columns returns the shared presorted training matrix, first appending any
+// rows measured since the previous fit — the warm-start seam of the
+// active-learning loop: only the fresh batch is transposed and merged.
+func (st *poolState) columns() (*forest.Columns, error) {
+	if st.cols == nil {
+		st.cols = forest.NewColumns(st.dim)
+	}
+	if err := st.cols.AppendRows(st.xRows[st.colsRows:]); err != nil {
+		return nil, err
+	}
+	st.colsRows = len(st.xRows)
+	return st.cols, nil
 }
 
 // pool returns this iteration's prediction pool X with st.poolFlat holding

@@ -13,7 +13,7 @@ package device
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Work is a per-kernel operation count vector, in paper-scale operations
@@ -263,6 +263,6 @@ func Names() []string {
 	for i, p := range ps {
 		names[i] = p.Name
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	return names
 }

@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 )
 
 // MarketDevice is one crowd-sourced phone or tablet profile of Figure 5.
@@ -69,7 +69,7 @@ func MarketDevices(n int, seed int64) []MarketDevice {
 		for k := range base.CoeffNs {
 			kernels = append(kernels, k)
 		}
-		sort.Strings(kernels)
+		slices.Sort(kernels)
 		for _, k := range kernels {
 			// Per-kernel variation: different GPU generations have very
 			// different relative costs for regular vs irregular kernels.

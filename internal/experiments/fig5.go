@@ -1,9 +1,10 @@
 package experiments
 
 import (
+	"cmp"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 
 	"repro/internal/device"
 	"repro/internal/plot"
@@ -88,7 +89,7 @@ func Fig5(opts Options, dse *DSEResult) (*Fig5Result, error) {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return res.Speedups[idx[a]] < res.Speedups[idx[b]] })
+	slices.SortFunc(idx, func(a, b int) int { return cmp.Compare(res.Speedups[a], res.Speedups[b]) })
 	res.Devices = permuteS(res.Devices, idx)
 	res.SoCs = permuteS(res.SoCs, idx)
 	res.Speedups = permuteF(res.Speedups, idx)

@@ -6,14 +6,20 @@
 // CART variance-reduction trees, bootstrap bagging, per-node feature
 // subsampling, out-of-bag error estimation and impurity-based feature
 // importance (used for the paper's feature/metric correlation analysis).
-// Fitting and batch prediction parallelize across trees and across input
-// chunks respectively.
+// Training runs over a presorted column-major matrix (Columns) in the
+// sklearn/XGBoost style: each feature's rows are argsorted once and kept
+// sorted through splits by stable partitioning, so split search never
+// sorts. Fitting and batch prediction parallelize across trees and across
+// input chunks respectively, with all per-tree scratch pooled across trees,
+// objectives, and active-learning refits.
 package forest
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/par"
 )
@@ -38,6 +44,12 @@ type Options struct {
 	Seed int64
 	// Workers bounds fitting/prediction parallelism; 0 = GOMAXPROCS.
 	Workers int
+	// Reference selects the legacy re-sorting tree builder (sort the node
+	// segment per candidate feature per node) instead of the presorted
+	// column-major fast path. Both produce byte-identical forests for the
+	// same seed; the reference is retained as the equivalence baseline for
+	// regression tests and as the benchmark comparison point.
+	Reference bool
 }
 
 func (o Options) withDefaults(d int) Options {
@@ -68,27 +80,132 @@ type Forest struct {
 	nFeatures  int
 	opts       Options
 	oobError   float64
+	oobSamples int
 	importance []float64
 }
 
+// fitScratch is the per-worker training state: the builder's index lists,
+// partition buffers, node arrays, and the bag draw. One scratch serves every
+// tree a worker grows, and the pool recycles it across fits — so steady-state
+// active-learning refits allocate only the right-sized persistent trees.
+type fitScratch struct {
+	order    []int32 // bag draw (and the reference builder's node segment)
+	cnt      []int32 // per-row bag multiplicity, zeroed again after each tree
+	lists    []int32 // fast path: d presorted per-feature lists, flattened
+	refSeg   []int32 // reference path: per-call sort buffer
+	tmp      []int32 // stable-partition spill
+	goesLeft []bool
+	featBuf  []int
+
+	feature []int32
+	thresh  []float64
+	left    []int32
+	right   []int32
+	value   []float64
+}
+
+func (sc *fitScratch) ensure(n, d, bagSize int, reference bool) {
+	if cap(sc.order) < bagSize {
+		sc.order = make([]int32, bagSize)
+	}
+	sc.order = sc.order[:bagSize]
+	if cap(sc.tmp) < bagSize {
+		sc.tmp = make([]int32, bagSize)
+	}
+	sc.tmp = sc.tmp[:bagSize]
+	if cap(sc.goesLeft) < n {
+		sc.goesLeft = make([]bool, n)
+	}
+	sc.goesLeft = sc.goesLeft[:n]
+	if reference {
+		if cap(sc.refSeg) < bagSize {
+			sc.refSeg = make([]int32, bagSize)
+		}
+		sc.refSeg = sc.refSeg[:bagSize]
+	} else {
+		if cap(sc.cnt) < n {
+			sc.cnt = make([]int32, n) // zeroed by make; kept zeroed after use
+		}
+		sc.cnt = sc.cnt[:n]
+		if cap(sc.lists) < d*bagSize {
+			sc.lists = make([]int32, d*bagSize)
+		}
+		sc.lists = sc.lists[:d*bagSize]
+	}
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(fitScratch) }}
+
+// fitBuffers is the per-fit aggregation state: per-tree out-of-bag
+// predictions, bag-membership bitsets, and importance rows, kept as three
+// block allocations (instead of four fresh slices per tree) and pooled
+// across fits.
+type fitBuffers struct {
+	oobPred []float64 // Trees × n, filled only at out-of-bag positions
+	bags    []uint64  // Trees × bagWords bitset of in-bag rows
+	imp     []float64 // Trees × d per-tree importance rows
+	oobSum  []float64 // n, aggregation scratch
+	oobCnt  []int32   // n, aggregation scratch
+}
+
+func (fb *fitBuffers) ensure(trees, n, d, bagWords int) {
+	if cap(fb.oobPred) < trees*n {
+		fb.oobPred = make([]float64, trees*n)
+	}
+	fb.oobPred = fb.oobPred[:trees*n]
+	if cap(fb.bags) < trees*bagWords {
+		fb.bags = make([]uint64, trees*bagWords)
+	}
+	fb.bags = fb.bags[:trees*bagWords]
+	if cap(fb.imp) < trees*d {
+		fb.imp = make([]float64, trees*d)
+	}
+	fb.imp = fb.imp[:trees*d]
+	if cap(fb.oobSum) < n {
+		fb.oobSum = make([]float64, n)
+	}
+	fb.oobSum = fb.oobSum[:n]
+	if cap(fb.oobCnt) < n {
+		fb.oobCnt = make([]int32, n)
+	}
+	fb.oobCnt = fb.oobCnt[:n]
+}
+
+var bufPool = sync.Pool{New: func() any { return new(fitBuffers) }}
+
 // Fit trains a forest on rows x (one feature vector per sample) and targets
-// y. It returns an error on empty or inconsistent input.
+// y. It returns an error on empty or inconsistent input. One-shot callers
+// get the presorted fast path too; the active-learning loop instead keeps a
+// shared Columns and calls Refit so the transpose and argsort amortize
+// across iterations and objectives.
 func Fit(x [][]float64, y []float64, opts Options) (*Forest, error) {
-	n := len(x)
+	if len(x) == 0 {
+		return nil, errors.New("forest: no training samples")
+	}
+	c, err := ColumnsFromRows(x)
+	if err != nil {
+		return nil, err
+	}
+	return Refit(c, y, opts)
+}
+
+// Refit trains a forest over a presorted column matrix — the warm-started
+// entry point of the active-learning loop: the caller appends each measured
+// batch to one shared Columns (per-feature orders merge incrementally) and
+// refits every objective's forest from it without re-sorting anything.
+// Multiple Refit calls may run concurrently over the same Columns; the
+// matrix is only read.
+func Refit(c *Columns, y []float64, opts Options) (*Forest, error) {
+	n := c.NumRows()
 	if n == 0 {
 		return nil, errors.New("forest: no training samples")
 	}
 	if len(y) != n {
 		return nil, fmt.Errorf("forest: %d samples but %d targets", n, len(y))
 	}
-	d := len(x[0])
+	d := c.Dim()
 	if d == 0 {
 		return nil, errors.New("forest: zero-dimensional features")
-	}
-	for i, row := range x {
-		if len(row) != d {
-			return nil, fmt.Errorf("forest: row %d has %d features, want %d", i, len(row), d)
-		}
 	}
 	o := opts.withDefaults(d)
 
@@ -103,56 +220,111 @@ func Fit(x [][]float64, y []float64, opts Options) (*Forest, error) {
 	if bootSize < 1 {
 		bootSize = 1
 	}
+	bagWords := (n + 63) / 64
 
-	type fitResult struct {
-		imp     []float64
-		oobSum  []float64 // per-sample OOB prediction sum
-		oobCnt  []int
-		treeIdx int
-	}
-	results := make([]fitResult, o.Trees)
+	fb := bufPool.Get().(*fitBuffers)
+	fb.ensure(o.Trees, n, d, bagWords)
 
-	par.ForWorkers(o.Trees, o.Workers, func(ti int) {
-		rng := rand.New(rand.NewSource(o.Seed + int64(ti)*1_000_003 + 17))
-		inBag := make([]bool, n)
-		order := make([]int, bootSize)
-		for i := range order {
-			s := rng.Intn(n)
-			order[i] = s
-			inBag[s] = true
-		}
-		b := &treeBuilder{
-			x:          x,
-			y:          y,
-			opts:       o,
-			rng:        rng,
-			importance: make([]float64, d),
-			order:      order,
-		}
-		t := b.grow()
-		f.trees[ti] = t
+	par.ForWorkersScratch(o.Trees, o.Workers,
+		func() *fitScratch { return scratchPool.Get().(*fitScratch) },
+		func(sc *fitScratch) { scratchPool.Put(sc) },
+		func(sc *fitScratch, ti int) {
+			rng := rand.New(rand.NewSource(o.Seed + int64(ti)*1_000_003 + 17))
+			sc.ensure(n, d, bootSize, o.Reference)
 
-		oobSum := make([]float64, n)
-		oobCnt := make([]int, n)
-		for s := 0; s < n; s++ {
-			if !inBag[s] {
-				oobSum[s] = t.predict(x[s])
-				oobCnt[s] = 1
+			bag := fb.bags[ti*bagWords : (ti+1)*bagWords]
+			for i := range bag {
+				bag[i] = 0
 			}
-		}
-		results[ti] = fitResult{imp: b.importance, oobSum: oobSum, oobCnt: oobCnt, treeIdx: ti}
-	})
+			for i := 0; i < bootSize; i++ {
+				s := int32(rng.Intn(n))
+				sc.order[i] = s
+				bag[s>>6] |= 1 << (uint(s) & 63)
+			}
 
-	// Aggregate OOB error and importance (sequentially: deterministic).
-	oobSum := make([]float64, n)
-	oobCnt := make([]int, n)
-	for _, r := range results {
+			imp := fb.imp[ti*d : (ti+1)*d]
+			for i := range imp {
+				imp[i] = 0
+			}
+			b := &treeBuilder{
+				cols:       c,
+				y:          y,
+				opts:       o,
+				rng:        rng,
+				reference:  o.Reference,
+				bagSize:    bootSize,
+				importance: imp,
+				lists:      sc.lists,
+				order:      sc.order,
+				refSeg:     sc.refSeg,
+				goesLeft:   sc.goesLeft,
+				tmp:        sc.tmp,
+				featBuf:    sc.featBuf,
+				feature:    sc.feature,
+				thresh:     sc.thresh,
+				left:       sc.left,
+				right:      sc.right,
+				value:      sc.value,
+			}
+			if !o.Reference {
+				// Filter the matrix's global per-feature orders down to the
+				// bag (with multiplicity): each list stays sorted by
+				// (value, row), duplicates adjacent.
+				for _, s := range sc.order {
+					sc.cnt[s]++
+				}
+				for fi := 0; fi < d; fi++ {
+					dst := sc.lists[fi*bootSize : (fi+1)*bootSize]
+					pos := 0
+					for _, row := range c.sort[fi] {
+						for k := int32(0); k < sc.cnt[row]; k++ {
+							dst[pos] = row
+							pos++
+						}
+					}
+				}
+				for _, s := range sc.order {
+					sc.cnt[s] = 0 // restore the all-zero invariant
+				}
+			}
+			f.trees[ti] = b.grow()
+			// Hand the (possibly grown) scratch buffers back for the
+			// worker's next tree.
+			sc.featBuf = b.featBuf
+			sc.feature = b.feature
+			sc.thresh = b.thresh
+			sc.left = b.left
+			sc.right = b.right
+			sc.value = b.value
+
+			// Out-of-bag predictions for this tree, straight off the columns.
+			pred := fb.oobPred[ti*n : (ti+1)*n]
+			for s := 0; s < n; s++ {
+				if bag[s>>6]&(1<<(uint(s)&63)) == 0 {
+					pred[s] = f.trees[ti].predictCols(c, s)
+				}
+			}
+		})
+
+	// Aggregate OOB error and importance sequentially in tree order:
+	// deterministic regardless of worker count or scheduling.
+	oobSum, oobCnt := fb.oobSum, fb.oobCnt
+	for s := 0; s < n; s++ {
+		oobSum[s] = 0
+		oobCnt[s] = 0
+	}
+	for ti := 0; ti < o.Trees; ti++ {
+		imp := fb.imp[ti*d : (ti+1)*d]
 		for i := range f.importance {
-			f.importance[i] += r.imp[i]
+			f.importance[i] += imp[i]
 		}
+		bag := fb.bags[ti*bagWords : (ti+1)*bagWords]
+		pred := fb.oobPred[ti*n : (ti+1)*n]
 		for s := 0; s < n; s++ {
-			oobSum[s] += r.oobSum[s]
-			oobCnt[s] += r.oobCnt[s]
+			if bag[s>>6]&(1<<(uint(s)&63)) == 0 {
+				oobSum[s] += pred[s]
+				oobCnt[s]++
+			}
 		}
 	}
 	totImp := 0.0
@@ -172,9 +344,15 @@ func Fit(x [][]float64, y []float64, opts Options) (*Forest, error) {
 			cnt++
 		}
 	}
+	f.oobSamples = cnt
 	if cnt > 0 {
 		f.oobError = sse / float64(cnt)
+	} else {
+		// No sample was ever out of bag (tiny training sets): the estimate
+		// is undefined, not zero — zero would read as a perfect fit.
+		f.oobError = math.NaN()
 	}
+	bufPool.Put(fb)
 	return f, nil
 }
 
@@ -185,8 +363,14 @@ func (f *Forest) NumTrees() int { return len(f.trees) }
 func (f *Forest) NumFeatures() int { return f.nFeatures }
 
 // OOBError returns the out-of-bag mean squared error estimated during
-// fitting (0 if every sample ended up in every bag).
+// fitting. It is NaN when no sample was out of bag (OOBSamples() == 0),
+// which on tiny training sets is the honest answer — a literal 0 would be
+// indistinguishable from a perfect fit.
 func (f *Forest) OOBError() float64 { return f.oobError }
+
+// OOBSamples returns how many training samples the out-of-bag estimate
+// aggregates over (0 means OOBError is NaN/undefined).
+func (f *Forest) OOBSamples() int { return f.oobSamples }
 
 // FeatureImportance returns the normalized impurity-decrease importance of
 // each feature (sums to 1 when any split occurred).

@@ -3,7 +3,7 @@ package forest
 import (
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 )
 
 // tree is a CART regression tree stored in flat arrays (structure-of-arrays
@@ -31,97 +31,229 @@ func (t *tree) predict(x []float64) float64 {
 	return t.value[i]
 }
 
-// treeBuilder holds the working state for growing one tree.
-type treeBuilder struct {
-	x          [][]float64 // training features, row-major samples
-	y          []float64
-	opts       Options
-	rng        *rand.Rand
-	t          *tree
-	importance []float64 // impurity-decrease accumulator per feature
-	order      []int     // scratch: sample indices, partitioned in place
-	featBuf    []int     // scratch: candidate feature indices
+// predictCols routes training row s through the tree reading straight from
+// the column-major matrix — the out-of-bag pass needs no row gather.
+func (t *tree) predictCols(c *Columns, s int) float64 {
+	i := int32(0)
+	for t.feature[i] >= 0 {
+		if c.vals[t.feature[i]][s] <= t.thresh[i] {
+			i = t.left[i]
+		} else {
+			i = t.right[i]
+		}
+	}
+	return t.value[i]
 }
 
-// grow builds the tree over the sample indices in b.order and returns it.
+// debugCheckSorted, when set by tests, is invoked at every node entry of the
+// presorted builder to assert the per-feature index lists are still ordered
+// by (value, row) after the stable partitions above this node.
+var debugCheckSorted func(b *treeBuilder, lo, hi int)
+
+// treeBuilder grows one tree over a bootstrap sample of a Columns matrix.
+//
+// Two interchangeable strategies produce byte-identical trees:
+//
+//   - the presorted fast path (reference == false): per-feature index lists
+//     over the bag, each ordered by (value, row), built once per tree from
+//     the matrix's global orders and kept sorted through splits by stable
+//     partitioning — so every split search is a pure O(mtry·n) prefix scan
+//     with zero sorting;
+//   - the reference path (reference == true): the legacy re-sorting builder,
+//     which sorts the node segment by (value, row) for every candidate
+//     feature at every node, exactly the O(nodes·mtry·n log n) pattern the
+//     fast path eliminates. It is retained as the equivalence baseline for
+//     tests and benchmarks.
+//
+// Byte-identical means identical: both paths visit candidate features in the
+// same shuffled order and scan each candidate's rows in the same
+// (value, row) total order, so every floating-point accumulation happens in
+// the same sequence and every split decision, threshold, leaf mean, and
+// importance increment matches bit for bit.
+type treeBuilder struct {
+	cols      *Columns
+	y         []float64
+	opts      Options
+	rng       *rand.Rand
+	reference bool
+
+	bagSize    int
+	importance []float64 // impurity-decrease accumulator per feature (d)
+
+	// Fast path: lists[f*bagSize+i] is the i-th bag entry of feature f's
+	// sorted list; node [lo,hi) owns lists[f*bagSize+lo : f*bagSize+hi).
+	lists []int32
+
+	// Reference path: the node segment (bag entries, order irrelevant —
+	// every use re-sorts a copy into refSeg).
+	order  []int32
+	refSeg []int32
+
+	goesLeft []bool  // per-row split side, written then read at each split
+	tmp      []int32 // stable-partition spill buffer
+
+	featBuf []int // candidate feature scratch
+
+	// Tree under construction; backed by reusable scratch, copied out by
+	// finish().
+	feature []int32
+	thresh  []float64
+	left    []int32
+	right   []int32
+	value   []float64
+}
+
+// grow builds the tree over the bag and returns a right-sized copy.
 func (b *treeBuilder) grow() *tree {
-	b.t = &tree{}
-	b.buildNode(0, len(b.order), 0)
-	return b.t
+	b.feature = b.feature[:0]
+	b.thresh = b.thresh[:0]
+	b.left = b.left[:0]
+	b.right = b.right[:0]
+	b.value = b.value[:0]
+	b.buildNode(0, b.bagSize, 0)
+	return b.finish()
+}
+
+// finish copies the scratch-backed node arrays into exactly-sized persistent
+// storage: two backing allocations per tree instead of the append-growth
+// churn of building in place.
+func (b *treeBuilder) finish() *tree {
+	n := len(b.feature)
+	i32 := make([]int32, 3*n)
+	f64 := make([]float64, 2*n)
+	t := &tree{
+		feature: i32[:n:n],
+		left:    i32[n : 2*n : 2*n],
+		right:   i32[2*n : 3*n : 3*n],
+		thresh:  f64[:n:n],
+		value:   f64[n : 2*n : 2*n],
+	}
+	copy(t.feature, b.feature)
+	copy(t.left, b.left)
+	copy(t.right, b.right)
+	copy(t.thresh, b.thresh)
+	copy(t.value, b.value)
+	return t
 }
 
 // addNode appends a node and returns its index.
 func (b *treeBuilder) addNode() int32 {
-	i := int32(len(b.t.feature))
-	b.t.feature = append(b.t.feature, -1)
-	b.t.thresh = append(b.t.thresh, 0)
-	b.t.left = append(b.t.left, -1)
-	b.t.right = append(b.t.right, -1)
-	b.t.value = append(b.t.value, 0)
+	i := int32(len(b.feature))
+	b.feature = append(b.feature, -1)
+	b.thresh = append(b.thresh, 0)
+	b.left = append(b.left, -1)
+	b.right = append(b.right, -1)
+	b.value = append(b.value, 0)
 	return i
 }
 
-// buildNode grows the subtree over b.order[lo:hi] and returns its node index.
+// nodeRows returns the node's bag entries ordered by (value of feature f,
+// row). The fast path reads its presorted list segment for free; the
+// reference path copies the segment and sorts it — the per-node, per-feature
+// O(n log n) the presorted layout exists to avoid.
+func (b *treeBuilder) nodeRows(f, lo, hi int) []int32 {
+	if !b.reference {
+		return b.lists[f*b.bagSize+lo : f*b.bagSize+hi]
+	}
+	seg := b.refSeg[:hi-lo]
+	copy(seg, b.order[lo:hi])
+	col := b.cols.vals[f]
+	slices.SortFunc(seg, func(a, bb int32) int { return cmpValRow(col, a, bb) })
+	return seg
+}
+
+// buildNode grows the subtree over bag entries [lo, hi) and returns its
+// node index.
 func (b *treeBuilder) buildNode(lo, hi, depth int) int32 {
+	if debugCheckSorted != nil && !b.reference {
+		debugCheckSorted(b, lo, hi)
+	}
 	node := b.addNode()
 	n := hi - lo
 
-	// Node statistics.
+	// Node statistics, accumulated in the canonical (feature-0 value, row)
+	// order so both builder strategies round identically.
 	sum, sum2 := 0.0, 0.0
-	for _, idx := range b.order[lo:hi] {
-		v := b.y[idx]
+	for _, row := range b.nodeRows(0, lo, hi) {
+		v := b.y[row]
 		sum += v
 		sum2 += v * v
 	}
 	mean := sum / float64(n)
 	sse := sum2 - sum*sum/float64(n) // total squared error around the mean
-	b.t.value[node] = mean
+	b.value[node] = mean
 
 	if n < 2*b.opts.MinSamplesLeaf || sse <= 1e-12 ||
 		(b.opts.MaxDepth > 0 && depth >= b.opts.MaxDepth) {
 		return node
 	}
 
-	feat, thresh, gain, split := b.bestSplit(lo, hi, sum)
+	feat, thresh, gain := b.bestSplit(lo, hi, sum)
 	if feat < 0 {
 		return node
 	}
 
-	// Partition b.order[lo:hi] in place around the split.
-	i, j := lo, hi-1
-	for i <= j {
-		if b.x[b.order[i]][feat] <= thresh {
-			i++
+	// Mark each row's side and count the entries going left. The partition
+	// predicate is the same `<=` predict uses, so midpoints that round onto
+	// a boundary value stay consistent with inference.
+	col := b.cols.vals[feat]
+	nl := 0
+	for _, row := range b.nodeRows(feat, lo, hi) {
+		if left := col[row] <= thresh; left {
+			b.goesLeft[row] = true
+			nl++
 		} else {
-			b.order[i], b.order[j] = b.order[j], b.order[i]
-			j--
+			b.goesLeft[row] = false
 		}
 	}
-	// i is now the first right-side element; must match the split size.
-	mid := lo + split
-	if i != mid {
-		// Ties on the threshold can shift the boundary; use the partition
-		// point actually produced (it is consistent with predict's <=).
-		mid = i
-	}
+	mid := lo + nl
 	if mid == lo || mid == hi {
 		return node // degenerate partition; keep as leaf
 	}
 
+	// Stable partition: relative order within each side is preserved, so the
+	// fast path's per-feature lists remain sorted by (value, row) in both
+	// children.
+	if b.reference {
+		stablePartition(b.order[lo:hi], b.goesLeft, b.tmp)
+	} else {
+		for f := 0; f < b.cols.dim; f++ {
+			stablePartition(b.lists[f*b.bagSize+lo:f*b.bagSize+hi], b.goesLeft, b.tmp)
+		}
+	}
+
 	b.importance[feat] += gain
-	b.t.feature[node] = int32(feat)
-	b.t.thresh[node] = thresh
-	b.t.left[node] = b.buildNode(lo, mid, depth+1)
-	b.t.right[node] = b.buildNode(mid, hi, depth+1)
+	b.feature[node] = int32(feat)
+	b.thresh[node] = thresh
+	b.left[node] = b.buildNode(lo, mid, depth+1)
+	b.right[node] = b.buildNode(mid, hi, depth+1)
 	return node
 }
 
+// stablePartition moves seg entries whose row is marked goesLeft to the
+// front, preserving relative order on both sides. tmp must hold len(seg).
+func stablePartition(seg []int32, goesLeft []bool, tmp []int32) {
+	w, k := 0, 0
+	for _, row := range seg {
+		if goesLeft[row] {
+			seg[w] = row
+			w++
+		} else {
+			tmp[k] = row
+			k++
+		}
+	}
+	copy(seg[w:], tmp[:k])
+}
+
 // bestSplit searches a random subset of features for the split with the
-// largest SSE reduction. It returns the chosen feature (-1 if none), the
-// threshold, the impurity decrease, and the number of samples that go left.
-func (b *treeBuilder) bestSplit(lo, hi int, sum float64) (feat int, thresh float64, gain float64, split int) {
+// largest SSE reduction: one prefix scan per candidate over the node's rows
+// in (value, row) order, evaluating every boundary between distinct values.
+// It returns the chosen feature (-1 if none), the threshold, and the
+// impurity decrease.
+func (b *treeBuilder) bestSplit(lo, hi int, sum float64) (feat int, thresh float64, gain float64) {
 	n := hi - lo
-	d := len(b.x[0])
+	d := b.cols.dim
 	mtry := b.opts.MaxFeatures
 	if mtry <= 0 || mtry > d {
 		mtry = d
@@ -137,12 +269,11 @@ func (b *treeBuilder) bestSplit(lo, hi int, sum float64) (feat int, thresh float
 
 	feat = -1
 	bestScore := math.Inf(-1)
-	seg := b.order[lo:hi]
 	minLeaf := b.opts.MinSamplesLeaf
 
 	for _, f := range candidates {
-		sort.Slice(seg, func(i, j int) bool { return b.x[seg[i]][f] < b.x[seg[j]][f] })
-		// Prefix scan: evaluate every boundary between distinct values.
+		seg := b.nodeRows(f, lo, hi)
+		col := b.cols.vals[f]
 		leftSum := 0.0
 		for i := 0; i < n-1; i++ {
 			leftSum += b.y[seg[i]]
@@ -151,7 +282,7 @@ func (b *treeBuilder) bestSplit(lo, hi int, sum float64) (feat int, thresh float
 			if nl < minLeaf || nr < minLeaf {
 				continue
 			}
-			xv, xn := b.x[seg[i]][f], b.x[seg[i+1]][f]
+			xv, xn := col[seg[i]], col[seg[i+1]]
 			if xv == xn {
 				continue // cannot split between equal values
 			}
@@ -163,17 +294,16 @@ func (b *treeBuilder) bestSplit(lo, hi int, sum float64) (feat int, thresh float
 				bestScore = score
 				feat = f
 				thresh = (xv + xn) / 2
-				split = nl
 			}
 		}
 	}
 	if feat < 0 {
-		return -1, 0, 0, 0
+		return -1, 0, 0
 	}
 	parentScore := sum * sum / float64(n)
 	gain = bestScore - parentScore
 	if gain <= 1e-12 {
-		return -1, 0, 0, 0
+		return -1, 0, 0
 	}
-	return feat, thresh, gain, split
+	return feat, thresh, gain
 }

@@ -57,6 +57,52 @@ func ForWorkers(n, workers int, f func(i int)) {
 	wg.Wait()
 }
 
+// ForWorkersScratch is ForWorkers for loops whose iterations want reusable
+// per-worker scratch: each worker acquires one scratch value via get before
+// its first index and releases it via put after its last, so n iterations
+// touch at most `workers` scratch values no matter how large n is. Callers
+// typically back get/put with a sync.Pool so scratch also survives across
+// calls (the forest trainer reuses builder state across trees, objectives,
+// and active-learning refits this way).
+//
+// The index→worker assignment is scheduling-dependent, so f must overwrite
+// any scratch state it reads — determinism of the results then follows from
+// f being a pure function of its index, exactly as with ForWorkers.
+func ForWorkersScratch[T any](n, workers int, get func() T, put func(T), f func(sc T, i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		sc := get()
+		for i := 0; i < n; i++ {
+			f(sc, i)
+		}
+		put(sc)
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, n)
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			sc := get()
+			defer put(sc)
+			for i := range next {
+				f(sc, i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // ForChunked splits [0, n) into contiguous chunks, one per worker, and runs
 // f(lo, hi) on each. It suits loops whose per-index cost is small and uniform
 // (image rows, voxel slabs).

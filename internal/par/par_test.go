@@ -112,3 +112,39 @@ func BenchmarkForChunked(b *testing.B) {
 		})
 	}
 }
+
+func TestForWorkersScratch(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		var gets, puts atomic.Int64
+		visited := make([]atomic.Int64, 300)
+		ForWorkersScratch(len(visited), workers,
+			func() *[]int { gets.Add(1); s := make([]int, 0, 8); return &s },
+			func(*[]int) { puts.Add(1) },
+			func(sc *[]int, i int) {
+				*sc = append((*sc)[:0], i) // exercise the scratch
+				visited[(*sc)[0]].Add(1)
+			})
+		for i := range visited {
+			if c := visited[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+		if gets.Load() != puts.Load() {
+			t.Fatalf("workers=%d: %d gets but %d puts", workers, gets.Load(), puts.Load())
+		}
+		want := int64(workers)
+		if want > int64(len(visited)) {
+			want = int64(len(visited))
+		}
+		if gets.Load() > want {
+			t.Fatalf("workers=%d: %d scratch values for %d workers", workers, gets.Load(), want)
+		}
+	}
+}
+
+func TestForWorkersScratchEmpty(t *testing.T) {
+	ForWorkersScratch(0, 4,
+		func() int { t.Fatal("get called for empty range"); return 0 },
+		func(int) { t.Fatal("put called for empty range") },
+		func(int, int) { t.Fatal("body called for empty range") })
+}

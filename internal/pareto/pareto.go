@@ -12,7 +12,6 @@ import (
 	"cmp"
 	"math"
 	"slices"
-	"sort"
 )
 
 // Point is one evaluated configuration: its design-space index and its
@@ -123,13 +122,13 @@ func frontKD(points []Point) []Point {
 			out = append(out, p)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		for k := range out[i].Objs {
-			if out[i].Objs[k] != out[j].Objs[k] {
-				return out[i].Objs[k] < out[j].Objs[k]
+	slices.SortFunc(out, func(a, b Point) int {
+		for k := range a.Objs {
+			if a.Objs[k] != b.Objs[k] {
+				return cmp.Compare(a.Objs[k], b.Objs[k])
 			}
 		}
-		return out[i].ID < out[j].ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 	return out
 }

@@ -29,7 +29,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -208,7 +209,7 @@ func (m *Manager) Problems() []Problem {
 	for _, p := range m.problems {
 		out = append(out, p)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	slices.SortFunc(out, func(a, b Problem) int { return strings.Compare(a.Name, b.Name) })
 	return out
 }
 
@@ -290,7 +291,7 @@ func (m *Manager) Get(id string) (*session, bool) {
 // sorts before "run-999999" lexicographically.)
 func (m *Manager) Statuses() []RunStatus {
 	sessions := m.store.Snapshot()
-	sort.Slice(sessions, func(i, j int) bool { return sessions[i].seq > sessions[j].seq })
+	slices.SortFunc(sessions, func(a, b *session) int { return int(b.seq - a.seq) })
 	out := make([]RunStatus, len(sessions))
 	for i, s := range sessions {
 		out[i] = s.status()

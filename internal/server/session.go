@@ -2,7 +2,10 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"math"
+	"strconv"
 	"sync"
 	"time"
 
@@ -31,18 +34,65 @@ func (s State) Terminal() bool { return s != StateRunning }
 // reports 0, so sub-millisecond timings and true zeros are
 // distinguishable from "field missing" by strict consumers.
 type IterationEvent struct {
-	Iteration          int       `json:"iteration"`
-	PredictedFrontSize int       `json:"predicted_front_size,omitempty"`
-	NewSamples         int       `json:"new_samples"`
-	TotalSamples       int       `json:"total_samples"`
-	FrontSize          int       `json:"front_size"`
-	OOBError           []float64 `json:"oob_error,omitempty"`
-	CacheHits          int       `json:"cache_hits"`
-	CacheMisses        int       `json:"cache_misses"`
-	FitMS              float64   `json:"fit_ms"`
-	EncodeMS           float64   `json:"encode_ms"`
-	PredictMS          float64   `json:"predict_ms"`
-	EvalMS             float64   `json:"eval_ms"`
+	Iteration          int        `json:"iteration"`
+	PredictedFrontSize int        `json:"predicted_front_size,omitempty"`
+	NewSamples         int        `json:"new_samples"`
+	TotalSamples       int        `json:"total_samples"`
+	FrontSize          int        `json:"front_size"`
+	OOBError           jsonFloats `json:"oob_error,omitempty"`
+	// OOBSamples mirrors the engine's per-objective OOB sample counts: a 0
+	// marks the matching oob_error as null/undefined (no sample was ever out
+	// of bag), not as a perfect fit.
+	OOBSamples  []int   `json:"oob_samples,omitempty"`
+	CacheHits   int     `json:"cache_hits"`
+	CacheMisses int     `json:"cache_misses"`
+	FitMS       float64 `json:"fit_ms"`
+	EncodeMS    float64 `json:"encode_ms"`
+	PredictMS   float64 `json:"predict_ms"`
+	EvalMS      float64 `json:"eval_ms"`
+}
+
+// jsonFloats is a float slice whose non-finite entries marshal as null.
+// JSON has no NaN/Inf literals and encoding/json fails the whole write on
+// one, but the engine legitimately reports NaN for an undefined OOB error
+// (no out-of-bag samples on a tiny training set) and an evaluator with
+// extreme objective values can overflow the MSE to +Inf — the event stream
+// must carry "undefined" instead of crashing the NDJSON feed.
+type jsonFloats []float64
+
+func (v jsonFloats) MarshalJSON() ([]byte, error) {
+	buf := make([]byte, 0, 2+16*len(v))
+	buf = append(buf, '[')
+	for i, f := range v {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			buf = append(buf, "null"...)
+			continue
+		}
+		buf = strconv.AppendFloat(buf, f, 'g', -1, 64)
+	}
+	return append(buf, ']'), nil
+}
+
+// UnmarshalJSON accepts the null entries MarshalJSON writes, mapping them
+// back to NaN so a round-trip preserves "undefined".
+func (v *jsonFloats) UnmarshalJSON(data []byte) error {
+	var raw []*float64
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	out := make(jsonFloats, len(raw))
+	for i, p := range raw {
+		if p == nil {
+			out[i] = math.NaN()
+		} else {
+			out[i] = *p
+		}
+	}
+	*v = out
+	return nil
 }
 
 // RunStatus is the GET /runs/{id} body.
@@ -84,7 +134,8 @@ func toEvent(s core.IterationStats) IterationEvent {
 		NewSamples:         s.NewSamples,
 		TotalSamples:       s.TotalSamples,
 		FrontSize:          s.FrontSize,
-		OOBError:           s.OOBError,
+		OOBError:           jsonFloats(s.OOBError),
+		OOBSamples:         s.OOBSamples,
 		CacheHits:          s.CacheHits,
 		CacheMisses:        s.CacheMisses,
 		FitMS:              durationMS(s.FitTime),

@@ -1,0 +1,56 @@
+package server
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestEventMarshalsUndefinedOOB: a fit with no out-of-bag samples reports
+// OOB error NaN, which encoding/json cannot represent — the event stream
+// must emit null for those entries (and carry the oob_samples counts that
+// explain them) instead of failing the whole NDJSON write.
+func TestEventMarshalsUndefinedOOB(t *testing.T) {
+	ev := toEvent(core.IterationStats{
+		Iteration:  1,
+		OOBError:   []float64{0.25, math.NaN()},
+		OOBSamples: []int{17, 0},
+		FitTime:    3 * time.Millisecond,
+	})
+	data, err := json.Marshal(ev)
+	if err != nil {
+		t.Fatalf("marshal with NaN OOB: %v", err)
+	}
+	s := string(data)
+	if !strings.Contains(s, `"oob_error":[0.25,null]`) {
+		t.Fatalf("NaN not mapped to null: %s", s)
+	}
+	if !strings.Contains(s, `"oob_samples":[17,0]`) {
+		t.Fatalf("oob_samples missing: %s", s)
+	}
+
+	// Round trip: null comes back as NaN, defined values bit-exact.
+	var back IterationEvent
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.OOBError[0] != 0.25 || !math.IsNaN(back.OOBError[1]) {
+		t.Fatalf("round trip lost the undefined marker: %v", back.OOBError)
+	}
+}
+
+// TestEventOmitsEmptyOOB: the bootstrap event carries no OOB data; the
+// fields must stay omitted rather than marshaling as [] noise.
+func TestEventOmitsEmptyOOB(t *testing.T) {
+	data, err := json.Marshal(toEvent(core.IterationStats{NewSamples: 40}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "oob_") {
+		t.Fatalf("empty OOB fields marshaled: %s", data)
+	}
+}

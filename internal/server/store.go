@@ -1,7 +1,7 @@
 package server
 
 import (
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 	"sync"
@@ -191,7 +191,7 @@ func (m *Manager) enforceCap() {
 	}
 	// Oldest first by creation sequence, so retained history is always the
 	// newest runs.
-	sort.Slice(terminal, func(i, j int) bool { return terminal[i].seq < terminal[j].seq })
+	slices.SortFunc(terminal, func(a, b *session) int { return int(a.seq - b.seq) })
 	for _, s := range terminal {
 		if excess <= 0 {
 			return

@@ -7,7 +7,7 @@ package stats
 import (
 	"errors"
 	"math"
-	"sort"
+	"slices"
 )
 
 // ErrEmpty is returned by functions that need at least one sample.
@@ -75,7 +75,7 @@ func Quantile(xs []float64, q float64) (float64, error) {
 		return 0, errors.New("stats: quantile out of [0,1]")
 	}
 	sorted := append([]float64(nil), xs...)
-	sort.Float64s(sorted)
+	slices.Sort(sorted)
 	if len(sorted) == 1 {
 		return sorted[0], nil
 	}
@@ -131,7 +131,17 @@ func Ranks(xs []float64) []float64 {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	// Unstable sort is fine: tied values receive the average rank of the
+	// whole tie group below, so their relative order cannot matter.
+	slices.SortFunc(idx, func(a, b int) int {
+		if xs[a] != xs[b] {
+			if xs[a] < xs[b] {
+				return -1
+			}
+			return 1
+		}
+		return 0
+	})
 	ranks := make([]float64, n)
 	for i := 0; i < n; {
 		j := i

@@ -8,10 +8,11 @@ package traj
 
 import (
 	"bufio"
+	"cmp"
 	"fmt"
 	"io"
 	"math"
-	"sort"
+	"slices"
 	"strconv"
 	"strings"
 
@@ -99,7 +100,7 @@ func Read(r io.Reader) (Trajectory, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	slices.SortFunc(out, func(a, b Stamped) int { return cmp.Compare(a.Time, b.Time) })
 	return out, nil
 }
 
@@ -146,7 +147,7 @@ func ATE(est, ref []geom.Pose) (ATEStats, error) {
 	}
 	st.Mean /= float64(len(est))
 	st.RMSE = math.Sqrt(sum2 / float64(len(est)))
-	sort.Float64s(errs)
+	slices.Sort(errs)
 	st.Median = errs[len(errs)/2]
 	return st, nil
 }
