@@ -131,7 +131,7 @@ func reportDSE(b *testing.B, res *experiments.DSEResult) {
 	// Optimizer-side vs evaluation wall-clock of the last run, so the bench
 	// logs track where exploration time goes.
 	b.ReportMetric(res.FitTime.Seconds()*1e3, "fit-ms")
-	b.ReportMetric((res.EncodeTime + res.PredictTime).Seconds()*1e3, "predict-ms")
+	b.ReportMetric((res.EncodeTime+res.PredictTime).Seconds()*1e3, "predict-ms")
 	b.ReportMetric(res.EvalTime.Seconds()*1e3, "eval-ms")
 }
 

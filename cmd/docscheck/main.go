@@ -1,0 +1,72 @@
+// Command docscheck keeps the documentation's file references honest: it
+// scans markdown files for repository paths (internal/..., cmd/...,
+// examples/..., docs/...) and fails if any referenced file or directory no
+// longer exists. CI runs it in the docs job, so renaming or deleting a
+// file that ARCHITECTURE.md points at breaks the build until the docs are
+// updated.
+//
+// Usage:
+//
+//	docscheck [-root .] README.md docs/ARCHITECTURE.md docs/WORKER_PROTOCOL.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"slices"
+)
+
+// pathRef matches repository-relative path references in prose or code
+// blocks: a known top-level directory followed by path segments. The
+// character class excludes quotes and punctuation so trailing ")", "'s",
+// or "." end the match cleanly; a trailing dot is only consumed when it
+// starts a file extension.
+var pathRef = regexp.MustCompile(`\b(?:internal|cmd|examples|docs)/[A-Za-z0-9_\-./]*[A-Za-z0-9_\-]`)
+
+// check scans the given markdown files under root and returns one message
+// per broken reference (missing doc file, or a referenced path that does
+// not exist), sorted and deduplicated.
+func check(root string, files []string) []string {
+	seen := make(map[string]bool)
+	var problems []string
+	addProblem := func(msg string) {
+		if !seen[msg] {
+			seen[msg] = true
+			problems = append(problems, msg)
+		}
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(filepath.Join(root, f))
+		if err != nil {
+			addProblem(fmt.Sprintf("%s: %v", f, err))
+			continue
+		}
+		for _, ref := range pathRef.FindAllString(string(data), -1) {
+			if _, err := os.Stat(filepath.Join(root, ref)); err != nil {
+				addProblem(fmt.Sprintf("%s references %s, which does not exist", f, ref))
+			}
+		}
+	}
+	slices.Sort(problems)
+	return problems
+}
+
+func main() {
+	root := flag.String("root", ".", "repository root the references resolve against")
+	flag.Parse()
+	files := flag.Args()
+	if len(files) == 0 {
+		files = []string{"README.md", "docs/ARCHITECTURE.md", "docs/WORKER_PROTOCOL.md"}
+	}
+	problems := check(*root, files)
+	for _, p := range problems {
+		fmt.Fprintln(os.Stderr, "docscheck: "+p)
+	}
+	if len(problems) > 0 {
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d files clean\n", len(files))
+}

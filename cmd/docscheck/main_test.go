@@ -1,0 +1,76 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeFile(t *testing.T, root, name, content string) {
+	t.Helper()
+	p := filepath.Join(root, name)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckFindsBrokenReferences(t *testing.T) {
+	root := t.TempDir()
+	writeFile(t, root, "internal/core/core.go", "package core")
+	writeFile(t, root, "docs/GOOD.md",
+		"See `internal/core/core.go` and the `internal/core` package, plus [cmd/tool](cmd/tool).")
+	writeFile(t, root, "cmd/tool/main.go", "package main")
+
+	if problems := check(root, []string{"docs/GOOD.md"}); len(problems) != 0 {
+		t.Fatalf("clean doc reported problems: %v", problems)
+	}
+
+	writeFile(t, root, "docs/BAD.md",
+		"Points at `internal/core/gone.go` and internal/missing twice: internal/missing.")
+	problems := check(root, []string{"docs/BAD.md"})
+	if len(problems) != 2 {
+		t.Fatalf("problems = %v, want 2 (deduplicated)", problems)
+	}
+	for _, p := range problems {
+		if !strings.Contains(p, "docs/BAD.md references") {
+			t.Fatalf("problem does not name the doc: %q", p)
+		}
+	}
+}
+
+func TestCheckTrailingPunctuationAndPossessives(t *testing.T) {
+	root := t.TempDir()
+	writeFile(t, root, "internal/worker/client.go", "package worker")
+	// Trailing ')', '.', ',' and possessive "'s" must not be treated as
+	// part of the path.
+	writeFile(t, root, "docs/D.md",
+		"(internal/worker/client.go), internal/worker's pool, end internal/worker.")
+	if problems := check(root, []string{"docs/D.md"}); len(problems) != 0 {
+		t.Fatalf("punctuation handling broke: %v", problems)
+	}
+}
+
+func TestCheckMissingDocFile(t *testing.T) {
+	root := t.TempDir()
+	problems := check(root, []string{"docs/NOPE.md"})
+	if len(problems) != 1 || !strings.Contains(problems[0], "docs/NOPE.md") {
+		t.Fatalf("problems = %v", problems)
+	}
+}
+
+func TestCheckAgainstThisRepository(t *testing.T) {
+	// The real docs must be clean against the real tree — the same
+	// invocation CI runs.
+	root := "../.."
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skip("not running from the repository tree")
+	}
+	files := []string{"README.md", "docs/ARCHITECTURE.md", "docs/WORKER_PROTOCOL.md"}
+	if problems := check(root, files); len(problems) != 0 {
+		t.Fatalf("repository docs have broken references:\n%s", strings.Join(problems, "\n"))
+	}
+}

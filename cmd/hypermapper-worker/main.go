@@ -1,0 +1,80 @@
+// Command hypermapper-worker is the evaluation worker daemon: it registers
+// the standard problem catalog (the same one hypermapperd serves) and
+// measures configuration batches on behalf of a coordinator over the
+// worker HTTP protocol (docs/WORKER_PROTOCOL.md).
+//
+// Usage:
+//
+//	hypermapper-worker -addr :9090
+//	curl -s localhost:9090/healthz
+//	curl -s localhost:9090/problems
+//	curl -s -X POST localhost:9090/evaluate \
+//	    -d '{"problem":"synthetic","configs":[[0,0,1],[4,4,3]]}'
+//
+// Point a coordinator at a fleet of these with
+// `hypermapperd -workers http://host1:9090,http://host2:9090`.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/worker"
+)
+
+func main() {
+	var (
+		addr  = flag.String("addr", ":9090", "listen address")
+		scale = flag.String("dataset", "dse", "dataset scale: full, dse, or test")
+		power = flag.Bool("power", false, "add power as a third objective")
+		evals = flag.Int("eval-workers", 0,
+			"concurrent evaluations per request batch (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	ws := worker.NewServer(*evals)
+	for _, p := range catalog.Problems(*scale, *power) {
+		if err := ws.Register(worker.Problem{
+			Name:       p.Name,
+			Space:      p.Space,
+			Eval:       p.Eval,
+			Objectives: len(p.Objectives),
+		}); err != nil {
+			fatalf("registering %s: %v", p.Name, err)
+		}
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: ws.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("hypermapper-worker: listening on %s (%d problems)\n", *addr, len(ws.Problems()))
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+		stop()
+		fmt.Println("hypermapper-worker: shutting down")
+	case err := <-errc:
+		fatalf("%v", err)
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "hypermapper-worker: http shutdown: %v\n", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "hypermapper-worker: "+format+"\n", args...)
+	os.Exit(1)
+}

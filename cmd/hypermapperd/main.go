@@ -1,7 +1,8 @@
-// Command hypermapperd is the HyperMapper daemon: it serves concurrent
-// design-space-exploration sessions over a JSON REST API, one problem per
-// benchmark × platform pair, with a shared evaluation memo-cache per
-// problem. See internal/server for the endpoint list.
+// Command hypermapperd is the HyperMapper coordinator daemon: it serves
+// concurrent design-space-exploration sessions over a JSON REST API, one
+// problem per benchmark × platform pair, with a shared evaluation
+// memo-cache per problem. See internal/server for the endpoint list and
+// docs/ARCHITECTURE.md for how the pieces fit.
 //
 // Usage:
 //
@@ -12,6 +13,13 @@
 //	curl -s localhost:8089/runs/run-000001/events     # NDJSON progress stream
 //	curl -s localhost:8089/runs/run-000001/front
 //	curl -s -X DELETE localhost:8089/runs/run-000001  # cancel
+//
+// With -workers the daemon stops evaluating in-process and fans every
+// evaluation batch out to a fleet of hypermapper-worker daemons
+// (docs/WORKER_PROTOCOL.md), with retries and hedged straggler
+// re-dispatch:
+//
+//	hypermapperd -addr :8089 -workers http://w1:9090,http://w2:9090 -hedge-after 500ms
 package main
 
 import (
@@ -19,18 +27,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"math"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
-	"repro/internal/core"
-	"repro/internal/device"
-	"repro/internal/param"
+	"repro/internal/catalog"
 	"repro/internal/server"
-	"repro/internal/slambench"
+	"repro/internal/worker"
 )
 
 func main() {
@@ -45,19 +51,46 @@ func main() {
 			"retained-session cap; finished sessions are evicted oldest-first past it (0 = unbounded)")
 		shards = flag.Int("shards", 0,
 			"session-store shard count (0 selects the default)")
+
+		workers = flag.String("workers", "",
+			"comma-separated hypermapper-worker base URLs; when set, evaluation batches are fanned out to this fleet instead of running in-process")
+		hedgeAfter = flag.Duration("hedge-after", 0,
+			"straggler threshold: re-dispatch a worker request outstanding this long to a second worker (0 = adaptive from the observed latency quantile, negative disables hedging)")
+		chunkSize = flag.Int("chunk-size", 0,
+			"max configurations per worker request (0 selects the default)")
+		retries = flag.Int("retries", 0,
+			"extra attempts per failed worker chunk, each on a different worker (0 selects the default)")
 	)
 	flag.Parse()
 
-	mgr := server.NewManagerConfig(server.Config{
+	cfg := server.Config{
 		SessionTTL:  *sessionTTL,
 		MaxSessions: *maxSessions,
 		Shards:      *shards,
-	}, buildProblems(*scale, *power)...)
+	}
+	if *workers != "" {
+		urls := strings.Split(*workers, ",")
+		pool, err := worker.NewPool(urls, worker.Options{
+			HedgeAfter: *hedgeAfter,
+			ChunkSize:  *chunkSize,
+			Retries:    *retries,
+		})
+		if err != nil {
+			fatalf("building worker pool: %v", err)
+		}
+		cfg.EvalPool = pool
+	}
+
+	mgr := server.NewManagerConfig(cfg, buildProblems(*scale, *power)...)
 
 	srv := &http.Server{Addr: *addr, Handler: mgr.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("hypermapperd: listening on %s (%d problems)\n", *addr, len(mgr.Problems()))
+	mode := "in-process evaluation"
+	if cfg.EvalPool != nil {
+		mode = fmt.Sprintf("%d evaluation workers", cfg.EvalPool.Size())
+	}
+	fmt.Printf("hypermapperd: listening on %s (%d problems, %s)\n", *addr, len(mgr.Problems()), mode)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -84,56 +117,19 @@ func main() {
 	}
 }
 
-// buildProblems registers one problem per benchmark × platform pair plus a
-// cheap synthetic problem for smoke-testing a deployment.
+// buildProblems maps the shared catalog onto the server's problem type.
 func buildProblems(scale string, power bool) []server.Problem {
-	objs, names := slambench.RuntimeAccuracy, []string{"runtime_s_per_frame", "accuracy_ate_m"}
-	if power {
-		objs, names = slambench.RuntimeAccuracyPower, append(names, "power_w")
-	}
-	ds := slambench.CachedDataset(scale)
-	benches := []slambench.Benchmark{
-		slambench.NewKFusionBench(ds),
-		slambench.NewElasticFusionBench(ds),
-	}
 	var out []server.Problem
-	for _, b := range benches {
-		for _, dev := range device.Platforms() {
-			out = append(out, server.Problem{
-				Name:        b.Name() + "/" + dev.Name,
-				Description: fmt.Sprintf("%s on %s (%s dataset)", b.Name(), dev.Name, scale),
-				Space:       b.Space(),
-				Eval:        slambench.Evaluator(b, dev, objs),
-				Objectives:  names,
-			})
-		}
+	for _, p := range catalog.Problems(scale, power) {
+		out = append(out, server.Problem{
+			Name:        p.Name,
+			Description: p.Description,
+			Space:       p.Space,
+			Eval:        p.Eval,
+			Objectives:  p.Objectives,
+		})
 	}
-	out = append(out, syntheticProblem())
 	return out
-}
-
-// syntheticProblem is a dataset-free two-objective toy space, useful for
-// exercising the service without paying for SLAM evaluations.
-func syntheticProblem() server.Problem {
-	space := param.MustSpace(
-		param.Grid("a", 0, 4, 40),
-		param.Grid("b", 0, 4, 40),
-		param.Levels("c", 1, 2, 3),
-	)
-	eval := core.EvaluatorFunc(func(cfg param.Config) []float64 {
-		a, b, c := cfg[0], cfg[1], cfg[2]
-		return []float64{
-			a + 0.5*math.Sin(3*b) + 0.05*c + 1.5,
-			b + 0.5*math.Cos(2*a) + 1.5,
-		}
-	})
-	return server.Problem{
-		Name:        "synthetic",
-		Description: "dataset-free two-objective toy space for smoke tests",
-		Space:       space,
-		Eval:        eval,
-		Objectives:  []string{"f0", "f1"},
-	}
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,84 @@
+// Package catalog builds the standard problem set served by the
+// coordinator daemon (cmd/hypermapperd) and the worker daemon
+// (cmd/hypermapper-worker): one problem per benchmark × platform pair plus
+// a cheap synthetic smoke-test space. Keeping the construction in one
+// place guarantees that a coordinator and its workers agree on problem
+// names, spaces, and evaluator semantics — the worker protocol identifies
+// evaluators by name only, so both sides must build them identically.
+package catalog
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/param"
+	"repro/internal/slambench"
+)
+
+// Problem is one named optimization target, daemon-agnostic: hypermapperd
+// maps it onto server.Problem, hypermapper-worker registers it as a
+// worker.Problem.
+type Problem struct {
+	Name        string
+	Description string
+	Space       *param.Space
+	Eval        core.Evaluator
+	// Objectives names the evaluator's outputs, in order; its length is
+	// the objective count.
+	Objectives []string
+}
+
+// Problems returns the full standard set for the given dataset scale
+// ("full", "dse", or "test"), with power as a third objective when
+// requested: every benchmark × platform pair plus Synthetic.
+func Problems(scale string, power bool) []Problem {
+	objs, names := slambench.RuntimeAccuracy, []string{"runtime_s_per_frame", "accuracy_ate_m"}
+	if power {
+		objs, names = slambench.RuntimeAccuracyPower, append(names, "power_w")
+	}
+	ds := slambench.CachedDataset(scale)
+	benches := []slambench.Benchmark{
+		slambench.NewKFusionBench(ds),
+		slambench.NewElasticFusionBench(ds),
+	}
+	var out []Problem
+	for _, b := range benches {
+		for _, dev := range device.Platforms() {
+			out = append(out, Problem{
+				Name:        b.Name() + "/" + dev.Name,
+				Description: fmt.Sprintf("%s on %s (%s dataset)", b.Name(), dev.Name, scale),
+				Space:       b.Space(),
+				Eval:        slambench.Evaluator(b, dev, objs),
+				Objectives:  names,
+			})
+		}
+	}
+	out = append(out, Synthetic())
+	return out
+}
+
+// Synthetic is a dataset-free two-objective toy space, useful for
+// exercising a deployment without paying for SLAM evaluations.
+func Synthetic() Problem {
+	space := param.MustSpace(
+		param.Grid("a", 0, 4, 40),
+		param.Grid("b", 0, 4, 40),
+		param.Levels("c", 1, 2, 3),
+	)
+	eval := core.EvaluatorFunc(func(cfg param.Config) []float64 {
+		a, b, c := cfg[0], cfg[1], cfg[2]
+		return []float64{
+			a + 0.5*math.Sin(3*b) + 0.05*c + 1.5,
+			b + 0.5*math.Cos(2*a) + 1.5,
+		}
+	})
+	return Problem{
+		Name:        "synthetic",
+		Description: "dataset-free two-objective toy space for smoke tests",
+		Space:       space,
+		Eval:        eval,
+		Objectives:  []string{"f0", "f1"},
+	}
+}

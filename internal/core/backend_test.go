@@ -1,0 +1,236 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/param"
+)
+
+func TestBackendOptionMatchesEvaluatorPath(t *testing.T) {
+	// An explicit Backend that computes the same objectives must yield a
+	// byte-identical seeded run: the backend seam may not perturb sample
+	// order, fronts, or rng consumption.
+	space := benchSpace(t)
+	eval := benchEval(space)
+	opts := Options{
+		Objectives:    2,
+		RandomSamples: 40,
+		MaxIterations: 3,
+		MaxBatch:      30,
+		Seed:          23,
+	}
+	plain, err := Run(space, eval, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withBackend := opts
+	withBackend.Backend = &LocalBackend{Eval: eval, Workers: 3}
+	viaBackend, err := Run(space, nil, withBackend) // nil Evaluator: Backend suffices
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprintRun(plain) != fingerprintRun(viaBackend) {
+		t.Fatal("explicit Backend diverged from the Evaluator path with an identical seed")
+	}
+}
+
+func TestNilEvaluatorWithoutBackendErrors(t *testing.T) {
+	space := benchSpace(t)
+	if _, err := Run(space, nil, Options{Objectives: 2}); err == nil {
+		t.Fatal("nil evaluator with no backend should error")
+	}
+}
+
+// failAfterBackend evaluates normally for the first n configurations across
+// all batches, then reports every further configuration as failed.
+type failAfterBackend struct {
+	eval  Evaluator
+	n     int64
+	calls atomic.Int64
+}
+
+var errBackendDown = errors.New("backend down")
+
+func (b *failAfterBackend) EvaluateBatch(ctx context.Context, cfgs []param.Config) ([][]float64, error) {
+	out := make([][]float64, len(cfgs))
+	var failed bool
+	for i, cfg := range cfgs {
+		if b.calls.Add(1) > b.n {
+			failed = true
+			continue
+		}
+		out[i] = b.eval.Evaluate(cfg)
+	}
+	if failed {
+		return out, errBackendDown
+	}
+	return out, nil
+}
+
+func TestBackendFailurePreservesPartialResults(t *testing.T) {
+	// A backend that dies mid-run must surface its error while the engine
+	// retains every evaluation that completed, with the front recomputed
+	// over them — the same partial-result contract cancellation has.
+	space := benchSpace(t)
+	backend := &failAfterBackend{eval: benchEval(space), n: 55}
+	opts := Options{
+		Objectives:    2,
+		RandomSamples: 40,
+		MaxIterations: 4,
+		MaxBatch:      30,
+		Seed:          7,
+		Backend:       backend,
+	}
+	res, err := Run(space, nil, opts)
+	if !errors.Is(err, errBackendDown) {
+		t.Fatalf("err = %v, want errBackendDown", err)
+	}
+	if res == nil {
+		t.Fatal("failed run should still return the partial result")
+	}
+	// The bootstrap (40 evaluations) completed; the failure landed inside
+	// an AL batch whose finished evaluations are retained.
+	if len(res.Samples) < 40 || len(res.Samples) > 55 {
+		t.Fatalf("partial result has %d samples, want within [40,55]", len(res.Samples))
+	}
+	for _, s := range res.Samples {
+		if len(s.Objs) != 2 {
+			t.Fatalf("retained sample %d has objectives %v", s.Index, s.Objs)
+		}
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("partial result should carry a front over completed samples")
+	}
+}
+
+// shortBackend silently drops the last configuration of every batch.
+type shortBackend struct{ eval Evaluator }
+
+func (b shortBackend) EvaluateBatch(ctx context.Context, cfgs []param.Config) ([][]float64, error) {
+	out := make([][]float64, len(cfgs))
+	for i, cfg := range cfgs[:len(cfgs)-1] {
+		out[i] = b.eval.Evaluate(cfg)
+	}
+	return out, nil
+}
+
+// longBackend appends a spurious extra objective vector to every batch.
+type longBackend struct{ eval Evaluator }
+
+func (b longBackend) EvaluateBatch(ctx context.Context, cfgs []param.Config) ([][]float64, error) {
+	out := make([][]float64, 0, len(cfgs)+1)
+	for _, cfg := range cfgs {
+		out = append(out, b.eval.Evaluate(cfg))
+	}
+	return append(out, []float64{0, 0}), nil
+}
+
+func TestBackendOverLongResultIsAnError(t *testing.T) {
+	// More results than configurations is the same contract violation as
+	// fewer: it must fail the run cleanly, not index past the batch.
+	space := benchSpace(t)
+	_, err := Run(space, nil, Options{
+		Objectives:    2,
+		RandomSamples: 20,
+		MaxIterations: 1,
+		Seed:          3,
+		Backend:       longBackend{eval: benchEval(space)},
+	})
+	if err == nil {
+		t.Fatal("over-long backend result should error the run")
+	}
+}
+
+func TestBackendShortResultIsAnError(t *testing.T) {
+	// A backend claiming success while returning fewer results than
+	// configurations is a protocol violation the engine must refuse rather
+	// than silently under-sample.
+	space := benchSpace(t)
+	_, err := Run(space, nil, Options{
+		Objectives:    2,
+		RandomSamples: 20,
+		MaxIterations: 1,
+		Seed:          3,
+		Backend:       shortBackend{eval: benchEval(space)},
+	})
+	if err == nil {
+		t.Fatal("short backend result should error the run")
+	}
+}
+
+// countingBackend counts how many configurations it evaluated.
+type countingBackend struct {
+	eval  Evaluator
+	evals atomic.Int64
+}
+
+func (b *countingBackend) EvaluateBatch(ctx context.Context, cfgs []param.Config) ([][]float64, error) {
+	out := make([][]float64, len(cfgs))
+	for i, cfg := range cfgs {
+		b.evals.Add(1)
+		out[i] = b.eval.Evaluate(cfg)
+	}
+	return out, nil
+}
+
+func TestBackendResultsMemoizeInCache(t *testing.T) {
+	// The memo-cache sits in front of the backend: a warm rerun must be
+	// served entirely from cache with zero backend evaluations, and the
+	// backend must only ever see genuine misses.
+	space := benchSpace(t)
+	backend := &countingBackend{eval: benchEval(space)}
+	cache := NewEvalCache()
+	opts := Options{
+		Objectives:    2,
+		RandomSamples: 40,
+		MaxIterations: 2,
+		Seed:          31,
+		Cache:         cache,
+		Backend:       backend,
+	}
+	r1, err := Run(space, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(backend.evals.Load()) != len(r1.Samples) {
+		t.Fatalf("cold run: %d backend evaluations for %d samples", backend.evals.Load(), len(r1.Samples))
+	}
+	cold := backend.evals.Load()
+	r2, err := Run(space, nil, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backend.evals.Load() != cold {
+		t.Fatalf("warm run reached the backend %d times", backend.evals.Load()-cold)
+	}
+	if r2.CacheHits != len(r2.Samples) {
+		t.Fatalf("warm run hits = %d, want %d", r2.CacheHits, len(r2.Samples))
+	}
+	if fingerprintRun(r1) != fingerprintRun(r2) {
+		t.Fatal("cached run diverged from the cold run")
+	}
+}
+
+func TestLocalBackendCopiesObjectives(t *testing.T) {
+	// LocalBackend must copy the evaluator's returned slice: evaluators
+	// that reuse an output buffer across calls would otherwise corrupt
+	// earlier results in the batch.
+	shared := make([]float64, 1)
+	eval := EvaluatorFunc(func(cfg param.Config) []float64 {
+		shared[0] = cfg[0]
+		return shared
+	})
+	b := &LocalBackend{Eval: eval, Workers: 1}
+	out, err := b.EvaluateBatch(context.Background(), []param.Config{{1}, {2}, {3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []float64{1, 2, 3} {
+		if out[i][0] != want {
+			t.Fatalf("out[%d] = %v, want [%g]", i, out[i], want)
+		}
+	}
+}

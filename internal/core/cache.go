@@ -78,51 +78,120 @@ func (c *EvalCache) view(fingerprint string) *evalCacheView {
 	return &evalCacheView{c: c, s: s}
 }
 
-// fetch returns the memoized objectives for idx, or computes them via fn.
-// Concurrent fetches of the same index are deduplicated: one caller runs
-// fn while the others wait for its result (or for ctx cancellation). hit
-// reports whether the value came from the cache rather than this caller's
-// own fn run. The returned slice is always a private copy.
+// backendFunc adapts a function to the Backend interface.
+type backendFunc func(ctx context.Context, cfgs []param.Config) ([][]float64, error)
+
+// EvaluateBatch implements Backend.
+func (f backendFunc) EvaluateBatch(ctx context.Context, cfgs []param.Config) ([][]float64, error) {
+	return f(ctx, cfgs)
+}
+
+// fetch returns the memoized objectives for idx, or computes them via fn —
+// the single-index convenience over fetchBatch, with the same singleflight
+// guarantee: concurrent fetches of the same index are deduplicated, one
+// caller runs fn while the others wait for its result (or for ctx
+// cancellation). hit reports whether the value came from the cache rather
+// than this caller's own fn run. The returned slice is always a private
+// copy.
 func (v *evalCacheView) fetch(ctx context.Context, idx int64, fn func() []float64) (objs []float64, hit bool, err error) {
-	for {
+	res, hits, _, err := v.fetchBatch(ctx, []int64{idx}, []param.Config{nil},
+		backendFunc(func(context.Context, []param.Config) ([][]float64, error) {
+			return [][]float64{fn()}, nil
+		}))
+	if err != nil {
+		return nil, false, err
+	}
+	return res[0], hits == 1, nil
+}
+
+// fetchBatch resolves one evaluation batch against the cache: cached
+// indices are served directly, misses are evaluated through the backend in
+// a single batched call, and indices another run is already evaluating are
+// waited on rather than re-measured. It is the batch generalization of
+// fetch with the same singleflight guarantee — across any number of
+// concurrent runs, each configuration is measured at most once.
+//
+// objs has len(idxs), position-matched; nil entries mark configurations
+// that could not be resolved (cancellation, backend failure), in which
+// case err is non-nil. hits and misses count this call's cache outcomes:
+// an index resolved by waiting on another run's in-flight evaluation
+// counts as a hit, exactly as the per-index fetch loop did.
+func (v *evalCacheView) fetchBatch(ctx context.Context, idxs []int64, cfgs []param.Config, backend Backend) (objs [][]float64, hits, misses int, err error) {
+	objs = make([][]float64, len(idxs))
+	pending := make([]int, len(idxs)) // positions still unresolved
+	for i := range pending {
+		pending[i] = i
+	}
+	for len(pending) > 0 {
+		var lead []int // positions this call evaluates
+		var waits []int
+		var waitCh []chan struct{}
 		v.c.mu.Lock()
-		if cached, ok := v.s.objs[idx]; ok {
-			cp := append([]float64(nil), cached...)
-			v.c.mu.Unlock()
-			v.c.hits.Add(1)
-			return cp, true, nil
-		}
-		wait, inflight := v.s.inflight[idx]
-		if !inflight {
-			done := make(chan struct{})
-			v.s.inflight[idx] = done
-			v.c.mu.Unlock()
+		for _, i := range pending {
+			idx := idxs[i]
+			if cached, ok := v.s.objs[idx]; ok {
+				objs[i] = append([]float64(nil), cached...)
+				hits++
+				v.c.hits.Add(1)
+				continue
+			}
+			if ch, inflight := v.s.inflight[idx]; inflight {
+				waits = append(waits, i)
+				waitCh = append(waitCh, ch)
+				continue
+			}
+			v.s.inflight[idx] = make(chan struct{})
+			lead = append(lead, i)
+			misses++
 			v.c.misses.Add(1)
-			// Leader: even if fn panics, release the waiters so they can
-			// take over rather than hang.
-			stored := ([]float64)(nil)
-			defer func() {
-				v.c.mu.Lock()
-				if stored != nil {
-					v.s.objs[idx] = stored
-				}
-				delete(v.s.inflight, idx)
-				v.c.mu.Unlock()
-				close(done)
-			}()
-			out := fn()
-			stored = append([]float64(nil), out...)
-			return append([]float64(nil), out...), false, nil
 		}
 		v.c.mu.Unlock()
-		select {
-		case <-wait:
-			// The leader stored the value (loop will hit the cache) or
-			// aborted (loop elects a new leader).
-		case <-ctx.Done():
-			return nil, false, ctx.Err()
+
+		if len(lead) > 0 {
+			batch := make([]param.Config, len(lead))
+			for j, i := range lead {
+				batch[j] = cfgs[i]
+			}
+			var res [][]float64
+			var evalErr error
+			func() {
+				// Release the in-flight registrations even if the backend
+				// panics, so waiters elect a new leader instead of hanging;
+				// store whatever completed first.
+				defer func() {
+					v.c.mu.Lock()
+					for j, i := range lead {
+						idx := idxs[i]
+						if j < len(res) && res[j] != nil {
+							v.s.objs[idx] = append([]float64(nil), res[j]...)
+							objs[i] = append([]float64(nil), res[j]...)
+						}
+						if ch, ok := v.s.inflight[idx]; ok {
+							delete(v.s.inflight, idx)
+							close(ch)
+						}
+					}
+					v.c.mu.Unlock()
+				}()
+				res, evalErr = backend.EvaluateBatch(ctx, batch)
+			}()
+			if evalErr != nil {
+				return objs, hits, misses, evalErr
+			}
 		}
+
+		for j := range waits {
+			select {
+			case <-waitCh[j]:
+				// The leader stored the value (next round hits the cache)
+				// or aborted (next round elects a new leader).
+			case <-ctx.Done():
+				return objs, hits, misses, ctx.Err()
+			}
+		}
+		pending = waits
 	}
+	return objs, hits, misses, nil
 }
 
 // Hits returns the number of lookups served from memoized entries.

@@ -23,7 +23,6 @@ import (
 	"math/rand"
 	"slices"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/forest"
@@ -75,8 +74,16 @@ type Options struct {
 	Logf func(format string, args ...any)
 	// Cache, when non-nil, memoizes evaluator results across runs over the
 	// same (space, evaluator) pair; see EvalCache. Hit/miss counts are
-	// surfaced in IterationStats and Result.
+	// surfaced in IterationStats and Result. The cache sits in front of
+	// the evaluation Backend, so local and remote measurements memoize
+	// identically.
 	Cache *EvalCache
+	// Backend, when non-nil, evaluates each batch instead of the run's
+	// Evaluator — e.g. a worker.Pool backend that fans batches out to
+	// remote worker daemons. When set, the Evaluator argument of
+	// Run/RunContext may be nil. When nil, batches run in-process through
+	// a LocalBackend over the Evaluator, bounded by Workers.
+	Backend Backend
 	// OnIteration, when non-nil, receives the statistics of every phase as
 	// it completes: first the bootstrap (Iteration 0), then each
 	// active-learning round. It is called from the run's goroutine;
@@ -139,7 +146,7 @@ type Sample struct {
 
 // IterationStats summarizes one active-learning round.
 type IterationStats struct {
-	Iteration          int
+	Iteration          int       // 0 for the bootstrap, i ≥ 1 for AL rounds
 	PredictedFrontSize int       // |P|
 	NewSamples         int       // |P − X_out| actually evaluated
 	TotalSamples       int       // |X_out| after the round
@@ -248,13 +255,16 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 	if space == nil || space.Size() == 0 {
 		return nil, errors.New("core: empty design space")
 	}
-	if eval == nil {
-		return nil, errors.New("core: nil evaluator")
+	if eval == nil && opts.Backend == nil {
+		return nil, errors.New("core: nil evaluator and no backend")
 	}
 	if opts.Objectives < 1 {
 		return nil, errors.New("core: Objectives must be ≥ 1")
 	}
 	o := opts.withDefaults()
+	if o.Backend == nil {
+		o.Backend = &LocalBackend{Eval: eval, Workers: o.Workers}
+	}
 	if o.Cache != nil {
 		o.cache = o.Cache.view(spaceFingerprint(space, o.Objectives))
 	}
@@ -298,7 +308,7 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 	bootstrap := space.SampleIndices(rng, n)
 	o.logf("random sampling: evaluating %d configurations", len(bootstrap))
 	evalStart := time.Now()
-	batch, hits, misses, err := evaluateBatch(ctx, space, eval, bootstrap, o)
+	batch, hits, misses, err := evaluateBatch(ctx, space, bootstrap, o)
 	evalTime := time.Since(evalStart)
 	res.CacheHits += hits
 	res.CacheMisses += misses
@@ -411,7 +421,7 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 		}
 
 		evalStart := time.Now()
-		newSamples, hits, misses, err := evaluateBatch(ctx, space, eval, todo, o)
+		newSamples, hits, misses, err := evaluateBatch(ctx, space, todo, o)
 		evalTime := time.Since(evalStart)
 		res.CacheHits += hits
 		res.CacheMisses += misses
@@ -494,56 +504,47 @@ func (o Options) onIteration(stats IterationStats) {
 	}
 }
 
-// evaluateBatch measures the given configuration indices in parallel,
-// returning samples in the order of idxs plus the memo-cache hit/miss
-// counts for the batch. Cancellation is checked before each evaluation;
-// once the context is done no further evaluator calls start, and only the
-// evaluations that did complete are returned (measurements are expensive —
-// an interrupted batch must not throw finished ones away).
-func evaluateBatch(ctx context.Context, space *param.Space, eval Evaluator, idxs []int64, o Options) ([]Sample, int, int, error) {
+// evaluateBatch measures the given configuration indices through the run's
+// Backend, returning samples in the order of idxs plus the memo-cache
+// hit/miss counts for the batch. With a cache the batch is resolved via
+// fetchBatch (cached indices served, the miss set evaluated in one backend
+// call, in-flight indices of concurrent runs waited on); without one the
+// whole batch goes to the backend directly. On cancellation or backend
+// failure only the evaluations that did complete are returned, together
+// with the error (measurements are expensive — an interrupted batch must
+// not throw finished ones away).
+func evaluateBatch(ctx context.Context, space *param.Space, idxs []int64, o Options) ([]Sample, int, int, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, 0, 0, err
 	}
-	out := make([]Sample, len(idxs))
-	var hits, misses atomic.Int64
-	par.ForWorkers(len(idxs), o.Workers, func(i int) {
-		if ctx.Err() != nil {
-			return
-		}
-		idx := idxs[i]
-		cfg := space.AtIndex(idx)
-		if o.cache != nil {
-			objs, hit, err := o.cache.fetch(ctx, idx, func() []float64 {
-				return eval.Evaluate(cfg)
-			})
-			if err != nil {
-				return // cancelled while waiting on another run's evaluation
-			}
-			if hit {
-				hits.Add(1)
-			} else {
-				misses.Add(1)
-			}
-			out[i] = Sample{Index: idx, Config: cfg, Objs: objs}
-			return
-		}
-		objs := eval.Evaluate(cfg)
-		out[i] = Sample{
-			Index:  idx,
-			Config: cfg,
-			Objs:   append([]float64(nil), objs...),
-		}
-	})
-	if err := ctx.Err(); err != nil {
-		completed := make([]Sample, 0, len(out))
-		for _, s := range out {
-			if s.Objs != nil {
-				completed = append(completed, s)
-			}
-		}
-		return completed, int(hits.Load()), int(misses.Load()), err
+	cfgs := make([]param.Config, len(idxs))
+	for i, idx := range idxs {
+		cfgs[i] = space.AtIndex(idx)
 	}
-	return out, int(hits.Load()), int(misses.Load()), nil
+	var objs [][]float64
+	var hits, misses int
+	var err error
+	if o.cache != nil {
+		objs, hits, misses, err = o.cache.fetchBatch(ctx, idxs, cfgs, o.Backend)
+	} else {
+		objs, err = o.Backend.EvaluateBatch(ctx, cfgs)
+	}
+	if len(objs) > len(idxs) {
+		// A contract violation must fail like the under-length case below,
+		// not index past idxs.
+		return nil, hits, misses, fmt.Errorf("core: backend returned %d results for a %d-configuration batch", len(objs), len(idxs))
+	}
+	out := make([]Sample, 0, len(idxs))
+	for i, ob := range objs {
+		if ob == nil {
+			continue // not evaluated: cancelled or failed mid-batch
+		}
+		out = append(out, Sample{Index: idxs[i], Config: cfgs[i], Objs: ob})
+	}
+	if err == nil && len(out) < len(idxs) {
+		err = fmt.Errorf("core: backend returned %d results for a %d-configuration batch", len(out), len(idxs))
+	}
+	return out, hits, misses, err
 }
 
 // trainingMatrix encodes every sample from scratch — the legacy reference

@@ -28,7 +28,9 @@ type StoredFront struct {
 	Points []StoredPoint `json:"points"`
 }
 
-// StoredPoint is one front configuration.
+// StoredPoint is one front configuration: its design-space index, decoded
+// parameter values (in Parameters order), and measured objectives (in
+// Objectives order).
 type StoredPoint struct {
 	Index  int64     `json:"index"`
 	Config []float64 `json:"config"`

@@ -72,6 +72,9 @@ func runDSE(opts Options, bench slambench.Benchmark, dev device.Model) (*DSEResu
 
 	budget := opts.dseBudget(bench.Name() == "elasticfusion")
 	budget.Cache = opts.cacheFor(bench.Name(), dev.Name)
+	if opts.BackendFor != nil {
+		budget.Backend = opts.BackendFor(bench.Name(), dev.Name)
+	}
 	// Collect per-phase timings over every event, bootstrap included (the
 	// bootstrap stats are streamed but not recorded in Result.Iterations).
 	var fitT, encT, predT, evalT time.Duration

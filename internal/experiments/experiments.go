@@ -47,6 +47,14 @@ type Options struct {
 	// different evaluators never mix. Re-running an exploration (e.g.
 	// Fig5 without a precomputed Fig3 result) then skips re-measurement.
 	Caches map[string]*core.EvalCache
+	// BackendFor, when non-nil, supplies a remote evaluation backend for
+	// the given benchmark × platform problem (named "bench/platform",
+	// matching the catalog) — e.g. worker.Pool.Backend over a fleet of
+	// hypermapper-worker daemons, which is exactly the paper's Fig. 5
+	// many-machines setup. Returning nil falls back to in-process
+	// evaluation for that problem; seeded results are identical either
+	// way.
+	BackendFor func(benchmark, platform string) core.Backend
 }
 
 // cacheFor returns the shared cache for one (benchmark, platform) pair,

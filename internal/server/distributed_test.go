@@ -1,0 +1,144 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/worker"
+)
+
+// newWorkerFleet starts n httptest worker daemons all serving the given
+// problem and returns a pool over them.
+func newWorkerFleet(t *testing.T, n int, p Problem) *worker.Pool {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		ws := worker.NewServer(2)
+		if err := ws.Register(worker.Problem{
+			Name:       p.Name,
+			Space:      p.Space,
+			Eval:       p.Eval,
+			Objectives: len(p.Objectives),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		srv := httptest.NewServer(ws.Handler())
+		t.Cleanup(srv.Close)
+		urls[i] = srv.URL
+	}
+	pool, err := worker.NewPool(urls, worker.Options{ChunkSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool
+}
+
+func TestDistributedSessionMatchesLocalAndReportsWorkerHealth(t *testing.T) {
+	// End to end through the REST API: a daemon configured with a worker
+	// fleet must run sessions to the same result as an in-process daemon,
+	// and GET /stats must expose per-worker health counters.
+	prob := testProblem("toy", 0)
+	req := RunRequest{Problem: "toy", Seed: 5, RandomSamples: 30, MaxIterations: 2, MaxBatch: 20}
+
+	_, localTS := newTestServer(t, prob)
+	localSt := postRun(t, localTS, req)
+	localDone := waitTerminal(t, localTS, localSt.ID)
+
+	pool := newWorkerFleet(t, 2, prob)
+	mgr, remoteTS := newTestServerConfig(t, Config{EvalPool: pool}, prob)
+	remoteSt := postRun(t, remoteTS, req)
+	remoteDone := waitTerminal(t, remoteTS, remoteSt.ID)
+
+	if localDone.State != StateDone || remoteDone.State != StateDone {
+		t.Fatalf("states: local %s, remote %s (remote err: %s)", localDone.State, remoteDone.State, remoteDone.Error)
+	}
+	if localDone.Samples != remoteDone.Samples || localDone.FrontSize != remoteDone.FrontSize {
+		t.Fatalf("distributed run diverged: local %d samples/%d front, remote %d/%d",
+			localDone.Samples, localDone.FrontSize, remoteDone.Samples, remoteDone.FrontSize)
+	}
+
+	// Both fronts, point by point.
+	localFront := getFrontJSON(t, localTS, localSt.ID)
+	remoteFront := getFrontJSON(t, remoteTS, remoteSt.ID)
+	if localFront != remoteFront {
+		t.Fatal("distributed front differs from the local front")
+	}
+
+	// Worker health in /stats: both workers took traffic.
+	st := mgr.Stats()
+	if len(st.Workers) != 2 {
+		t.Fatalf("stats workers = %+v, want 2 entries", st.Workers)
+	}
+	var total int64
+	for _, w := range st.Workers {
+		total += w.Requests
+	}
+	if total == 0 {
+		t.Fatal("no worker requests recorded in stats")
+	}
+
+	// The JSON body carries them too; a local daemon omits the field.
+	var raw map[string]json.RawMessage
+	resp, err := http.Get(remoteTS.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := raw["workers"]; !ok {
+		t.Fatal("remote daemon /stats lacks workers")
+	}
+	resp, err = http.Get(localTS.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw = nil // decoding into a non-nil map merges; start clean
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := raw["workers"]; ok {
+		t.Fatal("in-process daemon /stats should omit workers")
+	}
+}
+
+// getFrontJSON fetches a run's front as its raw JSON body.
+func getFrontJSON(t *testing.T, ts *httptest.Server, id string) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/runs/" + id + "/front")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET front = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+func TestDistributedSessionUnknownWorkerProblemFailsCleanly(t *testing.T) {
+	// The coordinator serves a problem its workers don't have: the session
+	// must fail with the worker's 404 surfaced in the run error rather
+	// than hang or crash the daemon.
+	prob := testProblem("toy", 0)
+	other := testProblem("elsewhere", 0)
+	pool := newWorkerFleet(t, 1, other)
+	_, ts := newTestServerConfig(t, Config{EvalPool: pool}, prob)
+	st := postRun(t, ts, RunRequest{Problem: "toy", Seed: 1, RandomSamples: 10, MaxIterations: 1})
+	done := waitTerminal(t, ts, st.ID)
+	if done.State != StateFailed {
+		t.Fatalf("state = %s, want failed", done.State)
+	}
+	if done.Error == "" {
+		t.Fatal("failed session carries no error")
+	}
+}

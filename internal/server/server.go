@@ -37,16 +37,24 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/param"
+	"repro/internal/worker"
 )
 
 // Problem is one named optimization target: a design space plus an
 // evaluator. Evaluators must be safe for concurrent use; one problem can
 // back many simultaneous sessions.
 type Problem struct {
-	Name        string
+	// Name identifies the problem in run requests (and, under a remote
+	// evaluation pool, on the workers — both sides must use one name).
+	Name string
+	// Description is the human-readable GET /problems summary.
 	Description string
-	Space       *param.Space
-	Eval        core.Evaluator
+	// Space is the design space explored.
+	Space *param.Space
+	// Eval measures one configuration in-process. With a remote
+	// evaluation pool configured it is bypassed, but the space is still
+	// needed locally for sampling, encoding, and validation.
+	Eval core.Evaluator
 	// Objectives names the evaluator's outputs, in order; its length is
 	// the objective count passed to the engine.
 	Objectives []string
@@ -55,14 +63,19 @@ type Problem struct {
 // RunRequest is the POST /runs body. Zero-valued budget fields select the
 // engine defaults.
 type RunRequest struct {
-	Problem       string `json:"problem"`
-	Seed          int64  `json:"seed"`
-	RandomSamples int    `json:"random_samples,omitempty"`
-	MaxIterations int    `json:"max_iterations,omitempty"`
-	MaxBatch      int    `json:"max_batch,omitempty"`
-	PoolCap       int    `json:"pool_cap,omitempty"`
-	Trees         int    `json:"trees,omitempty"`
-	Workers       int    `json:"workers,omitempty"`
+	// Problem names a registered problem; required.
+	Problem string `json:"problem"`
+	// Seed drives every random choice; equal seeds reproduce runs exactly.
+	Seed int64 `json:"seed"`
+	// RandomSamples, MaxIterations, MaxBatch, PoolCap, Trees, and Workers
+	// map onto the engine budgets of core.Options (and Forest.Trees);
+	// zero selects each one's documented default.
+	RandomSamples int `json:"random_samples,omitempty"`
+	MaxIterations int `json:"max_iterations,omitempty"`
+	MaxBatch      int `json:"max_batch,omitempty"`
+	PoolCap       int `json:"pool_cap,omitempty"`
+	Trees         int `json:"trees,omitempty"`
+	Workers       int `json:"workers,omitempty"`
 	// NoCache opts this session out of the problem's shared memo-cache
 	// (e.g. when the evaluator is noisy and fresh measurements matter).
 	NoCache bool `json:"no_cache,omitempty"`
@@ -128,6 +141,13 @@ type Config struct {
 	// background. 0 derives it from SessionTTL (TTL/4, clamped to
 	// [100ms, 30s]); with no TTL it defaults to 30s.
 	JanitorInterval time.Duration
+	// EvalPool, when non-nil, fans every session's evaluation batches out
+	// to the given remote worker fleet instead of evaluating in-process:
+	// each run gets the pool's backend bound to its problem name, so every
+	// worker must serve the same problem catalog as this daemon. Per-worker
+	// health counters are surfaced in GET /stats. Seeded runs produce
+	// byte-identical results either way.
+	EvalPool *worker.Pool
 }
 
 func (c Config) janitorInterval() time.Duration {
@@ -270,6 +290,13 @@ func (m *Manager) Start(req RunRequest) (RunStatus, error) {
 		OnIteration:   func(st core.IterationStats) { s.publish(toEvent(st)) },
 	}
 	opts.Forest.Trees = req.Trees
+	if m.cfg.EvalPool != nil {
+		// Remote evaluation: the batch backend replaces the in-process
+		// evaluator. The memo-cache sits in front of the backend inside
+		// the engine, so remote results memoize exactly like local ones;
+		// the objective count pins the fleet to this daemon's catalog.
+		opts.Backend = m.cfg.EvalPool.Backend(p.Name, len(p.Objectives))
+	}
 
 	go func() {
 		defer m.wg.Done()
@@ -318,7 +345,10 @@ func (m *Manager) Cancel(id string) (RunStatus, bool) {
 type Stats struct {
 	// Sessions is the retained count; Running and Terminal split it.
 	Sessions int `json:"sessions"`
-	Running  int `json:"running"`
+	// Running counts retained sessions still exploring.
+	Running int `json:"running"`
+	// Terminal counts retained sessions that finished (done, cancelled,
+	// or failed) and are eligible for eviction.
 	Terminal int `json:"terminal"`
 	// TotalStarted counts every session ever launched, including evicted
 	// ones.
@@ -327,13 +357,18 @@ type Stats struct {
 	// by the MaxSessions cap.
 	EvictedTTL int64 `json:"evicted_ttl"`
 	EvictedCap int64 `json:"evicted_cap"`
-	// Configuration echoes, so operators can confirm what a daemon runs
-	// with: session_ttl_s is 0 when TTL eviction is off, max_sessions 0
-	// when unbounded.
+	// Shards, MaxSessions, SessionTTLS, and Problems echo the daemon's
+	// configuration so operators can confirm what it runs with:
+	// session_ttl_s is 0 when TTL eviction is off, max_sessions 0 when
+	// unbounded.
 	Shards      int     `json:"shards"`
 	MaxSessions int     `json:"max_sessions"`
 	SessionTTLS float64 `json:"session_ttl_s"`
 	Problems    int     `json:"problems"`
+	// Workers reports the remote evaluation fleet's per-worker health
+	// counters (requests, failures, hedges, in-flight); absent when the
+	// daemon evaluates in-process.
+	Workers []worker.WorkerStats `json:"workers,omitempty"`
 }
 
 // Stats reports store occupancy, eviction counters, and the lifecycle
@@ -347,6 +382,9 @@ func (m *Manager) Stats() Stats {
 		MaxSessions:  m.cfg.MaxSessions,
 		SessionTTLS:  m.cfg.SessionTTL.Seconds(),
 		Problems:     len(m.Problems()),
+	}
+	if m.cfg.EvalPool != nil {
+		st.Workers = m.cfg.EvalPool.Stats()
 	}
 	if st.Shards < 1 {
 		st.Shards = defaultShards

@@ -16,10 +16,16 @@ import (
 type State string
 
 const (
-	StateRunning   State = "running"
-	StateDone      State = "done"
+	// StateRunning marks a session whose exploration is still in progress.
+	StateRunning State = "running"
+	// StateDone marks a session that completed its budget or converged.
+	StateDone State = "done"
+	// StateCancelled marks a session stopped by DELETE /runs/{id} or
+	// daemon shutdown; its partial result remains fetchable.
 	StateCancelled State = "cancelled"
-	StateFailed    State = "failed"
+	// StateFailed marks a session whose run returned an error (e.g. its
+	// evaluation backend exhausted retries); see RunStatus.Error.
+	StateFailed State = "failed"
 )
 
 // Terminal reports whether no further progress events can arrive.
@@ -34,22 +40,31 @@ func (s State) Terminal() bool { return s != StateRunning }
 // reports 0, so sub-millisecond timings and true zeros are
 // distinguishable from "field missing" by strict consumers.
 type IterationEvent struct {
-	Iteration          int        `json:"iteration"`
-	PredictedFrontSize int        `json:"predicted_front_size,omitempty"`
-	NewSamples         int        `json:"new_samples"`
-	TotalSamples       int        `json:"total_samples"`
-	FrontSize          int        `json:"front_size"`
-	OOBError           jsonFloats `json:"oob_error,omitempty"`
+	// Iteration is 0 for the bootstrap, i ≥ 1 for the i-th AL round.
+	Iteration int `json:"iteration"`
+	// PredictedFrontSize is |P|, the model-predicted front size.
+	PredictedFrontSize int `json:"predicted_front_size,omitempty"`
+	// NewSamples, TotalSamples, and FrontSize mirror the engine's
+	// IterationStats: configurations measured this round, measured in
+	// total, and the measured-front size after the round.
+	NewSamples   int `json:"new_samples"`
+	TotalSamples int `json:"total_samples"`
+	FrontSize    int `json:"front_size"`
+	// OOBError is the per-objective forest OOB MSE (null = undefined).
+	OOBError jsonFloats `json:"oob_error,omitempty"`
 	// OOBSamples mirrors the engine's per-objective OOB sample counts: a 0
 	// marks the matching oob_error as null/undefined (no sample was ever out
 	// of bag), not as a perfect fit.
-	OOBSamples  []int   `json:"oob_samples,omitempty"`
-	CacheHits   int     `json:"cache_hits"`
-	CacheMisses int     `json:"cache_misses"`
-	FitMS       float64 `json:"fit_ms"`
-	EncodeMS    float64 `json:"encode_ms"`
-	PredictMS   float64 `json:"predict_ms"`
-	EvalMS      float64 `json:"eval_ms"`
+	OOBSamples []int `json:"oob_samples,omitempty"`
+	// CacheHits and CacheMisses count this round's memo-cache lookups.
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+	// FitMS, EncodeMS, PredictMS, and EvalMS are the per-phase wall-clock
+	// timings described above.
+	FitMS     float64 `json:"fit_ms"`
+	EncodeMS  float64 `json:"encode_ms"`
+	PredictMS float64 `json:"predict_ms"`
+	EvalMS    float64 `json:"eval_ms"`
 }
 
 // jsonFloats is a float slice whose non-finite entries marshal as null.
@@ -60,6 +75,7 @@ type IterationEvent struct {
 // must carry "undefined" instead of crashing the NDJSON feed.
 type jsonFloats []float64
 
+// MarshalJSON renders the slice with null in place of NaN/±Inf.
 func (v jsonFloats) MarshalJSON() ([]byte, error) {
 	buf := make([]byte, 0, 2+16*len(v))
 	buf = append(buf, '[')
@@ -95,19 +111,26 @@ func (v *jsonFloats) UnmarshalJSON(data []byte) error {
 	return nil
 }
 
-// RunStatus is the GET /runs/{id} body.
+// RunStatus is the GET /runs/{id} body: one session's identity, lifecycle
+// state, and progress summary.
 type RunStatus struct {
-	ID          string           `json:"id"`
-	Problem     string           `json:"problem"`
-	State       State            `json:"state"`
-	Created     time.Time        `json:"created"`
-	Samples     int              `json:"samples"`
-	FrontSize   int              `json:"front_size"`
-	Converged   bool             `json:"converged"`
-	CacheHits   int              `json:"cache_hits"`
-	CacheMisses int              `json:"cache_misses"`
-	Error       string           `json:"error,omitempty"`
-	Iterations  []IterationEvent `json:"iterations"`
+	ID      string    `json:"id"`
+	Problem string    `json:"problem"`
+	State   State     `json:"state"`
+	Created time.Time `json:"created"`
+	// Samples and FrontSize summarize progress: evaluated configurations
+	// and the current measured-front size (from the final result once
+	// terminal, else from the latest progress event).
+	Samples   int  `json:"samples"`
+	FrontSize int  `json:"front_size"`
+	Converged bool `json:"converged"`
+	// CacheHits and CacheMisses total the session's memo-cache lookups.
+	CacheHits   int `json:"cache_hits"`
+	CacheMisses int `json:"cache_misses"`
+	// Error carries the failure reason when State is "failed".
+	Error string `json:"error,omitempty"`
+	// Iterations is the full progress-event history, bootstrap first.
+	Iterations []IterationEvent `json:"iterations"`
 }
 
 // session is one managed exploration.

@@ -80,6 +80,7 @@ func (st *shardedStore) shardFor(seq int64) *storeShard {
 	return &st.shards[int(seq%int64(len(st.shards)))]
 }
 
+// Put implements SessionStore.
 func (st *shardedStore) Put(s *session) {
 	sh := st.shardFor(s.seq)
 	sh.mu.Lock()
@@ -87,6 +88,7 @@ func (st *shardedStore) Put(s *session) {
 	sh.mu.Unlock()
 }
 
+// Get implements SessionStore.
 func (st *shardedStore) Get(id string) (*session, bool) {
 	seq, ok := parseSeq(id)
 	if !ok {
@@ -105,6 +107,7 @@ func (st *shardedStore) Get(id string) (*session, bool) {
 	return s, true
 }
 
+// Delete implements SessionStore.
 func (st *shardedStore) Delete(id string) bool {
 	seq, ok := parseSeq(id)
 	if !ok {
@@ -121,6 +124,7 @@ func (st *shardedStore) Delete(id string) bool {
 	return true
 }
 
+// Snapshot implements SessionStore.
 func (st *shardedStore) Snapshot() []*session {
 	out := make([]*session, 0, st.Len())
 	for i := range st.shards {
@@ -134,6 +138,7 @@ func (st *shardedStore) Snapshot() []*session {
 	return out
 }
 
+// Len implements SessionStore.
 func (st *shardedStore) Len() int {
 	n := 0
 	for i := range st.shards {

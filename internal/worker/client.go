@@ -1,0 +1,557 @@
+package worker
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/param"
+)
+
+// Options tunes a Pool. The zero value selects the documented defaults.
+type Options struct {
+	// ChunkSize is the maximum number of configurations per worker
+	// request; a batch is split into ⌈n/ChunkSize⌉ chunks that spread
+	// across the fleet (default 32). Smaller chunks balance better across
+	// heterogeneous workers; larger chunks amortize per-request overhead.
+	ChunkSize int
+	// MaxInFlight bounds the pool's concurrent HTTP requests across all
+	// sessions sharing it, hedges included (default 4 × workers).
+	MaxInFlight int
+	// Retries is how many additional attempts a failed chunk gets, each
+	// routed to a different worker than the one that just failed (default
+	// 2). A chunk whose attempts are exhausted fails the batch; completed
+	// chunks are still returned.
+	Retries int
+	// RetryBackoff is the pause before each re-attempt (default 50ms).
+	RetryBackoff time.Duration
+	// HedgeAfter is the straggler threshold: a request outstanding this
+	// long is re-dispatched to a second worker, first reply wins. 0
+	// derives the threshold adaptively from the observed completion-latency
+	// quantile (see HedgeQuantile); a negative value disables hedging.
+	HedgeAfter time.Duration
+	// HedgeQuantile is the completion-latency quantile used when
+	// HedgeAfter is 0, in (0,1) (default 0.95). Latencies are tracked per
+	// problem (a SLAM batch and a synthetic batch have nothing in
+	// common), and hedging stays off until that problem has observed at
+	// least hedgeMinSamples completions.
+	HedgeQuantile float64
+	// RequestTimeout is the hard per-request ceiling (default 15m). It is
+	// the backstop that keeps a wedged worker — accepts the connection,
+	// never answers — from hanging a run when hedging is still cold: the
+	// attempt fails and the retry loop moves to another worker. Set it
+	// above your slowest legitimate batch; negative disables it.
+	RequestTimeout time.Duration
+	// Client is the HTTP client for worker requests; nil selects a
+	// default client (DefaultTransport dial timeouts, no overall timeout —
+	// the per-request ceiling comes from RequestTimeout).
+	Client *http.Client
+}
+
+const (
+	defaultChunkSize      = 32
+	defaultRetries        = 2
+	defaultRetryBackoff   = 50 * time.Millisecond
+	defaultHedgeQuantile  = 0.95
+	defaultRequestTimeout = 15 * time.Minute
+	// hedgeMinSamples is how many completed requests the adaptive hedger
+	// needs before it trusts its latency window.
+	hedgeMinSamples = 8
+	// latencyWindowSize bounds the sliding window of completion latencies
+	// the adaptive hedge threshold is computed from.
+	latencyWindowSize = 64
+)
+
+// WorkerStats is one worker's health counters, surfaced through
+// Pool.Stats and the coordinator daemon's GET /stats.
+type WorkerStats struct {
+	URL string `json:"url"`
+	// Requests counts evaluation requests sent to this worker, hedges and
+	// retries included.
+	Requests int64 `json:"requests"`
+	// Failures counts requests that errored (connection failure, non-2xx,
+	// malformed response) — not requests lost to a faster hedge leg.
+	Failures int64 `json:"failures"`
+	// Hedges counts requests sent to this worker as the second leg of a
+	// hedged pair.
+	Hedges int64 `json:"hedges"`
+	// InFlight counts requests outstanding right now.
+	InFlight int64 `json:"in_flight"`
+}
+
+// workerState is one worker endpoint plus its health counters.
+type workerState struct {
+	url      string
+	requests atomic.Int64
+	failures atomic.Int64
+	hedges   atomic.Int64
+	inflight atomic.Int64
+}
+
+// Pool is a fleet of worker daemons plus the dispatch policy (sharding,
+// bounded in-flight requests, retries, hedged straggler re-dispatch). One
+// Pool is shared by every session of a coordinator daemon; Backend binds
+// it to a problem name, yielding the core.Backend a run plugs in.
+//
+// Pools are safe for concurrent use.
+type Pool struct {
+	workers []*workerState
+	opts    Options
+	client  *http.Client
+	sem     chan struct{} // bounds in-flight HTTP requests
+	cursor  atomic.Int64  // round-robin worker pick
+
+	winMu   sync.Mutex
+	windows map[string]*latencyWindow // per-problem completion latencies
+}
+
+// latencyWindow is one problem's sliding window of completion latencies,
+// feeding the adaptive hedge threshold. Windows are per problem because
+// pooling them would be meaningless: a coordinator runs millisecond
+// synthetic batches next to minutes-long SLAM batches, and a quantile over
+// the mixture would hedge every legitimately slow batch immediately.
+type latencyWindow struct {
+	mu  sync.Mutex
+	lat []time.Duration // ring buffer
+	n   int             // total completions recorded
+}
+
+// NewPool builds a pool over the given worker base URLs (e.g.
+// "http://host:9090"). At least one URL is required.
+func NewPool(urls []string, opts Options) (*Pool, error) {
+	if len(urls) == 0 {
+		return nil, errors.New("worker: pool needs at least one worker URL")
+	}
+	if opts.ChunkSize <= 0 {
+		opts.ChunkSize = defaultChunkSize
+	}
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = 4 * len(urls)
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	} else if opts.Retries == 0 {
+		opts.Retries = defaultRetries
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = defaultRetryBackoff
+	}
+	if opts.HedgeQuantile <= 0 || opts.HedgeQuantile >= 1 {
+		opts.HedgeQuantile = defaultHedgeQuantile
+	}
+	if opts.RequestTimeout == 0 {
+		opts.RequestTimeout = defaultRequestTimeout
+	}
+	client := opts.Client
+	if client == nil {
+		// No client-level timeout: a SLAM evaluation batch can
+		// legitimately run for minutes, and the per-request ceiling is
+		// already applied via RequestTimeout in post. DefaultTransport
+		// supplies the dial timeout for unreachable hosts.
+		client = &http.Client{}
+	}
+	p := &Pool{
+		opts:    opts,
+		client:  client,
+		sem:     make(chan struct{}, opts.MaxInFlight),
+		windows: make(map[string]*latencyWindow),
+	}
+	for _, u := range urls {
+		u = strings.TrimRight(strings.TrimSpace(u), "/")
+		if u == "" {
+			return nil, errors.New("worker: empty worker URL")
+		}
+		p.workers = append(p.workers, &workerState{url: u})
+	}
+	return p, nil
+}
+
+// Backend binds the pool to a problem name, returning the evaluation
+// backend a run plugs into core.Options.Backend. Every worker of the pool
+// must have that problem registered under the same name. objectives is the
+// objective-vector length the caller expects; responses carrying a
+// different length are rejected as permanent protocol errors (a
+// coordinator/worker configuration mismatch, e.g. -power on one side
+// only) before they can reach the engine or the shared memo-cache. 0
+// skips the check.
+func (p *Pool) Backend(problem string, objectives int) core.Backend {
+	return &remoteBackend{pool: p, problem: problem, objectives: objectives}
+}
+
+// Stats snapshots every worker's health counters, in pool order.
+func (p *Pool) Stats() []WorkerStats {
+	out := make([]WorkerStats, len(p.workers))
+	for i, w := range p.workers {
+		out[i] = WorkerStats{
+			URL:      w.url,
+			Requests: w.requests.Load(),
+			Failures: w.failures.Load(),
+			Hedges:   w.hedges.Load(),
+			InFlight: w.inflight.Load(),
+		}
+	}
+	return out
+}
+
+// Size returns the number of workers in the pool.
+func (p *Pool) Size() int { return len(p.workers) }
+
+// remoteBackend is the per-problem core.Backend view of a Pool.
+type remoteBackend struct {
+	pool       *Pool
+	problem    string
+	objectives int // expected objective-vector length; 0 = unchecked
+}
+
+// EvaluateBatch implements core.Backend: the batch is split into chunks,
+// each chunk is dispatched to a worker (with retries on other workers and
+// hedged re-dispatch of stragglers), and results land at fixed offsets of
+// the output — so however completion order shuffles, the merged result is
+// in input order and seeded runs stay deterministic.
+//
+// On failure the error of the first chunk to exhaust its attempts is
+// returned together with every completed chunk's results; unevaluated
+// configurations are left nil, which the engine retains as "not measured".
+func (b *remoteBackend) EvaluateBatch(ctx context.Context, cfgs []param.Config) ([][]float64, error) {
+	n := len(cfgs)
+	out := make([][]float64, n)
+	if n == 0 {
+		return out, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
+	p := b.pool
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	for lo := 0; lo < n; lo += p.opts.ChunkSize {
+		hi := min(lo+p.opts.ChunkSize, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			objs, err := p.evalChunk(ctx, b.problem, cfgs[lo:hi])
+			if err == nil && b.objectives > 0 {
+				for i, ob := range objs {
+					if len(ob) != b.objectives {
+						// A count mismatch means coordinator and workers
+						// disagree about the problem (e.g. -power on one
+						// side only); letting it through would corrupt the
+						// engine and the shared memo-cache.
+						err = fmt.Errorf("worker: problem %q returned %d objectives for config %d, want %d (coordinator/worker catalog mismatch)",
+							b.problem, len(ob), lo+i, b.objectives)
+						break
+					}
+				}
+			}
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				errMu.Unlock()
+				return
+			}
+			copy(out[lo:hi], objs)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out, firstErr
+}
+
+// permanentError marks worker replies retrying cannot fix — 4xx protocol
+// rejections like an unknown problem name or an inadmissible
+// configuration. Every worker of a consistent fleet would answer the same,
+// so the dispatch fails fast instead of burning its retry budget.
+type permanentError struct{ err error }
+
+func (e *permanentError) Error() string { return e.err.Error() }
+func (e *permanentError) Unwrap() error { return e.err }
+
+// evalChunk runs one chunk to completion: up to 1+Retries hedged attempts,
+// each avoiding every worker that already failed this chunk (primaries and
+// hedge legs alike) while an untried one remains — so a healthy worker is
+// always reached before the budget can exhaust on known-bad ones. Permanent
+// (4xx) rejections are not retried.
+func (p *Pool) evalChunk(ctx context.Context, problem string, cfgs []param.Config) ([][]float64, error) {
+	var lastErr error
+	failed := make(map[int]bool) // workers that failed this chunk
+	for attempt := 0; attempt <= p.opts.Retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-time.After(p.opts.RetryBackoff):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		if len(failed) >= len(p.workers) {
+			// Every worker failed once already; transient outages may have
+			// passed, so open the full fleet back up.
+			clear(failed)
+		}
+		objs, attemptFailed, err := p.attemptHedged(ctx, failed, problem, cfgs)
+		if err == nil {
+			return objs, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		var perm *permanentError
+		if errors.As(err, &perm) {
+			return nil, fmt.Errorf("worker: chunk of %d configs rejected: %w", len(cfgs), err)
+		}
+		lastErr = err
+		for _, w := range attemptFailed {
+			failed[w] = true
+		}
+	}
+	return nil, fmt.Errorf("worker: chunk of %d configs failed after %d attempts: %w",
+		len(cfgs), p.opts.Retries+1, lastErr)
+}
+
+// attemptHedged runs one attempt: a request to a primary worker picked
+// outside the avoid set and, if it is still outstanding past the hedge
+// threshold, a second request to another worker. The first successful
+// reply wins and cancels the loser; the attempt fails only when every
+// dispatched leg has failed. It reports the workers whose requests failed
+// so the retry loop can route around them.
+//
+// Every leg holds a MaxInFlight semaphore slot for its HTTP exchange. The
+// primary acquires it blocking (that wait IS the pool's backpressure);
+// a hedge leg only dispatches if a slot is free right now — blocking would
+// queue it behind the very stragglers it exists to bypass. The latency
+// window records the winning leg's service time (post-acquisition), not
+// attempt wall-clock, so queueing and primary straggle never inflate the
+// adaptive hedge threshold.
+func (p *Pool) attemptHedged(ctx context.Context, avoid map[int]bool, problem string, cfgs []param.Config) ([][]float64, []int, error) {
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel() // reels in the losing leg
+
+	type reply struct {
+		objs    [][]float64
+		err     error
+		worker  int
+		service time.Duration
+	}
+	replies := make(chan reply, 2)
+	// launch dispatches one leg; it reports false when no slot/context was
+	// available (hedge skipped, or ctx done during the primary's wait).
+	launch := func(worker int, hedge bool) bool {
+		if hedge {
+			select {
+			case p.sem <- struct{}{}:
+			default:
+				return false // pool saturated: skip the hedge, keep the bound
+			}
+		} else {
+			select {
+			case p.sem <- struct{}{}:
+			case <-cctx.Done():
+				return false
+			}
+		}
+		w := p.workers[worker]
+		w.requests.Add(1)
+		if hedge {
+			w.hedges.Add(1)
+		}
+		go func() {
+			defer func() { <-p.sem }()
+			start := time.Now()
+			objs, err := p.post(cctx, w, problem, cfgs)
+			if err != nil && cctx.Err() == nil {
+				w.failures.Add(1)
+			}
+			replies <- reply{objs, err, worker, time.Since(start)}
+		}()
+		return true
+	}
+
+	primary := p.pick(avoid)
+	if !launch(primary, false) {
+		return nil, nil, ctx.Err()
+	}
+	outstanding := 1
+	var attemptFailed []int
+	var hedgeTimer <-chan time.Time
+	if d := p.hedgeDelay(problem); d > 0 && len(p.workers) > 1 {
+		hedgeTimer = time.After(d)
+	}
+	var lastErr error
+	for {
+		select {
+		case r := <-replies:
+			outstanding--
+			if r.err == nil {
+				p.window(problem).record(r.service)
+				return r.objs, attemptFailed, nil
+			}
+			attemptFailed = append(attemptFailed, r.worker)
+			var perm *permanentError
+			if errors.As(r.err, &perm) {
+				// A protocol rejection is definitive for the whole fleet;
+				// do not wait for (or spend) a hedge leg on it.
+				return nil, attemptFailed, r.err
+			}
+			lastErr = r.err
+			if outstanding == 0 {
+				return nil, attemptFailed, lastErr
+			}
+		case <-hedgeTimer:
+			hedgeTimer = nil
+			hedgeAvoid := map[int]bool{primary: true}
+			for w := range avoid {
+				hedgeAvoid[w] = true
+			}
+			if len(hedgeAvoid) >= len(p.workers) {
+				hedgeAvoid = map[int]bool{primary: true}
+			}
+			if second := p.pick(hedgeAvoid); second != primary && launch(second, true) {
+				outstanding++
+			}
+		case <-ctx.Done():
+			return nil, attemptFailed, ctx.Err()
+		}
+	}
+}
+
+// post sends one evaluation request and decodes the reply. The caller
+// (attemptHedged's launch) holds the in-flight semaphore slot for the
+// duration of the exchange; RequestTimeout caps it so a wedged worker
+// fails the attempt instead of hanging it.
+func (p *Pool) post(ctx context.Context, w *workerState, problem string, cfgs []param.Config) ([][]float64, error) {
+	if t := p.opts.RequestTimeout; t > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, t)
+		defer cancel()
+	}
+	w.inflight.Add(1)
+	defer w.inflight.Add(-1)
+
+	body, err := json.Marshal(EvaluateRequest{Problem: problem, Configs: cfgs})
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.url+"/evaluate", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("worker %s: %w", w.url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		err := fmt.Errorf("worker %s: %d: %s", w.url, resp.StatusCode, msg)
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			// 4xx is a protocol rejection (unknown problem, bad config),
+			// not a worker outage: no other worker of a consistent fleet
+			// would answer differently, so mark it non-retryable.
+			return nil, &permanentError{err: err}
+		}
+		return nil, err
+	}
+	var out EvaluateResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("worker %s: decoding response: %w", w.url, err)
+	}
+	if len(out.Objectives) != len(cfgs) {
+		return nil, fmt.Errorf("worker %s: %d objective vectors for %d configs", w.url, len(out.Objectives), len(cfgs))
+	}
+	for i, objs := range out.Objectives {
+		if objs == nil {
+			return nil, fmt.Errorf("worker %s: nil objectives at position %d", w.url, i)
+		}
+	}
+	return out.Objectives, nil
+}
+
+// pick returns the next worker index round-robin, skipping the avoid set
+// while an alternative exists; with every worker avoided it degrades to
+// plain round-robin rather than spinning.
+func (p *Pool) pick(avoid map[int]bool) int {
+	n := len(p.workers)
+	start := int(p.cursor.Add(1)-1) % n
+	if start < 0 {
+		start += n // cursor wrap: Add is modular int64 arithmetic
+	}
+	for i := 0; i < n; i++ {
+		if w := (start + i) % n; !avoid[w] {
+			return w
+		}
+	}
+	return start
+}
+
+// window returns the named problem's latency window, creating it on first
+// use.
+func (p *Pool) window(problem string) *latencyWindow {
+	p.winMu.Lock()
+	defer p.winMu.Unlock()
+	w, ok := p.windows[problem]
+	if !ok {
+		w = &latencyWindow{lat: make([]time.Duration, 0, latencyWindowSize)}
+		p.windows[problem] = w
+	}
+	return w
+}
+
+// record appends one completion latency to the sliding window.
+func (w *latencyWindow) record(d time.Duration) {
+	w.mu.Lock()
+	if len(w.lat) < latencyWindowSize {
+		w.lat = append(w.lat, d)
+	} else {
+		w.lat[w.n%latencyWindowSize] = d
+	}
+	w.n++
+	w.mu.Unlock()
+}
+
+// quantile returns the q-quantile of the windowed latencies, or 0 when
+// fewer than hedgeMinSamples completions have been recorded.
+func (w *latencyWindow) quantile(q float64) time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n < hedgeMinSamples {
+		return 0
+	}
+	window := append([]time.Duration(nil), w.lat...)
+	slices.Sort(window)
+	i := int(q * float64(len(window)))
+	if i >= len(window) {
+		i = len(window) - 1
+	}
+	return window[i]
+}
+
+// hedgeDelay returns the current straggler threshold for one problem: the
+// fixed HedgeAfter when configured, otherwise the HedgeQuantile of that
+// problem's observed completion latencies. 0 means "do not hedge"
+// (hedging disabled, or the adaptive window has too few samples to
+// trust); RequestTimeout still bounds the attempt either way.
+func (p *Pool) hedgeDelay(problem string) time.Duration {
+	if p.opts.HedgeAfter > 0 {
+		return p.opts.HedgeAfter
+	}
+	if p.opts.HedgeAfter < 0 {
+		return 0
+	}
+	return p.window(problem).quantile(p.opts.HedgeQuantile)
+}

@@ -1,0 +1,66 @@
+// Package worker implements the distributed evaluation backend: a
+// lightweight worker daemon that serves registered evaluators over HTTP
+// (Server, run by cmd/hypermapper-worker), and the client-side Pool whose
+// per-problem core.Backend shards each evaluation batch across the worker
+// fleet with bounded in-flight requests, per-chunk retries, and hedged
+// re-dispatch of stragglers.
+//
+// This is the paper's Fig. 5 crowd made explicit: HyperMapper owed its
+// throughput to ~70 machines evaluating configurations in parallel, and
+// SLAMBench was designed to farm KFusion runs across heterogeneous
+// devices. The wire protocol is specified in docs/WORKER_PROTOCOL.md;
+// results always merge back in deterministic index order, so a seeded run
+// over a worker fleet is byte-identical to the same run evaluated
+// in-process.
+package worker
+
+import "repro/internal/param"
+
+// EvaluateRequest is the POST /evaluate body: one batch of configurations
+// to measure against a named problem. Configurations are decoded parameter
+// values in the problem's space order (not design-space indices), so a
+// worker can validate them against its own copy of the space without
+// trusting the client's indexing.
+type EvaluateRequest struct {
+	// Problem names the registered evaluator to run.
+	Problem string `json:"problem"`
+	// Configs holds one configuration per entry, each with exactly
+	// Space.Dim() admissible values.
+	Configs []param.Config `json:"configs"`
+}
+
+// EvaluateResponse is the POST /evaluate success body. Objectives[i] is
+// the objective vector of Configs[i] — same length, same order; that
+// positional contract is what lets the client merge shards back
+// deterministically.
+type EvaluateResponse struct {
+	Objectives [][]float64 `json:"objectives"`
+}
+
+// ErrorResponse is the body of every non-2xx worker reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// Health is the GET /healthz body.
+type Health struct {
+	// Status is "ok" while the worker accepts evaluation requests.
+	Status string `json:"status"`
+	// Problems lists the registered problem names, sorted.
+	Problems []string `json:"problems"`
+	// Evaluations counts configurations measured since the worker started.
+	Evaluations int64 `json:"evaluations"`
+	// InFlight counts configurations being measured right now. (Same
+	// JSON name as the coordinator's per-worker stats counter.)
+	InFlight int64 `json:"in_flight"`
+	// UptimeS is seconds since the worker started.
+	UptimeS float64 `json:"uptime_s"`
+}
+
+// ProblemInfo is one entry of the GET /problems listing.
+type ProblemInfo struct {
+	Name       string   `json:"name"`
+	SpaceSize  int64    `json:"space_size"`
+	Parameters []string `json:"parameters"`
+	Objectives int      `json:"objectives"`
+}

@@ -1,0 +1,189 @@
+package worker
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/param"
+)
+
+// Problem is one evaluator a worker serves: the design space it validates
+// requests against plus the measurement function. The Evaluator must be
+// safe for concurrent use — one worker serves overlapping batches from any
+// number of coordinator daemons.
+type Problem struct {
+	Name  string
+	Space *param.Space
+	Eval  core.Evaluator
+	// Objectives is the length of the vectors Eval returns, advertised in
+	// GET /problems so clients can sanity-check a fleet's configuration.
+	Objectives int
+}
+
+// maxEvaluateBody caps the POST /evaluate request body. A batch of a few
+// thousand configurations over a dozen parameters is well under a
+// megabyte; the cap only exists so a misbehaving client cannot buffer
+// gigabytes into the worker.
+const maxEvaluateBody = 32 << 20
+
+// Server hosts registered evaluators behind the worker HTTP protocol
+// (docs/WORKER_PROTOCOL.md): POST /evaluate measures a batch, GET /healthz
+// reports liveness and counters, GET /problems lists what this worker can
+// evaluate.
+type Server struct {
+	mu       sync.Mutex
+	problems map[string]Problem
+
+	evalWorkers int
+	started     time.Time
+	evals       atomic.Int64
+	inflight    atomic.Int64
+}
+
+// NewServer returns a worker with no problems registered. evalWorkers
+// bounds the concurrent evaluator calls per request batch; ≤ 0 selects
+// GOMAXPROCS.
+func NewServer(evalWorkers int) *Server {
+	if evalWorkers <= 0 {
+		evalWorkers = par.MaxWorkers()
+	}
+	return &Server{
+		problems:    make(map[string]Problem),
+		evalWorkers: evalWorkers,
+		started:     time.Now(),
+	}
+}
+
+// Register adds or replaces a problem by name.
+func (s *Server) Register(p Problem) error {
+	if p.Name == "" {
+		return errors.New("worker: problem with empty name")
+	}
+	if p.Space == nil || p.Eval == nil {
+		return fmt.Errorf("worker: problem %q needs a space and an evaluator", p.Name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.problems[p.Name] = p
+	return nil
+}
+
+// Problems lists the registered problems sorted by name.
+func (s *Server) Problems() []Problem {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Problem, 0, len(s.problems))
+	for _, p := range s.problems {
+		out = append(out, p)
+	}
+	slices.SortFunc(out, func(a, b Problem) int { return strings.Compare(a.Name, b.Name) })
+	return out
+}
+
+// Handler returns the worker HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		probs := s.Problems()
+		names := make([]string, len(probs))
+		for i, p := range probs {
+			names[i] = p.Name
+		}
+		writeJSON(w, http.StatusOK, Health{
+			Status:      "ok",
+			Problems:    names,
+			Evaluations: s.evals.Load(),
+			InFlight:    s.inflight.Load(),
+			UptimeS:     time.Since(s.started).Seconds(),
+		})
+	})
+
+	mux.HandleFunc("GET /problems", func(w http.ResponseWriter, r *http.Request) {
+		probs := s.Problems()
+		out := make([]ProblemInfo, 0, len(probs))
+		for _, p := range probs {
+			out = append(out, ProblemInfo{
+				Name:       p.Name,
+				SpaceSize:  p.Space.Size(),
+				Parameters: p.Space.Names(),
+				Objectives: p.Objectives,
+			})
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("POST /evaluate", s.handleEvaluate)
+
+	return mux
+}
+
+func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, maxEvaluateBody)
+	var req EvaluateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		code := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			code = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, code, fmt.Errorf("parsing request: %w", err))
+		return
+	}
+	s.mu.Lock()
+	p, ok := s.problems[req.Problem]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown problem %q", req.Problem))
+		return
+	}
+	if len(req.Configs) == 0 {
+		writeJSON(w, http.StatusOK, EvaluateResponse{Objectives: [][]float64{}})
+		return
+	}
+	for i, cfg := range req.Configs {
+		if err := p.Space.Validate(cfg); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("config %d: %w", i, err))
+			return
+		}
+	}
+
+	// Measure the batch, bounded to the worker's evaluation parallelism.
+	// The request context covers the whole batch: when the coordinator
+	// cancels (run cancelled, or this was the losing leg of a hedged pair)
+	// no further evaluations start and the response is abandoned.
+	ctx := r.Context()
+	out := make([][]float64, len(req.Configs))
+	s.inflight.Add(int64(len(req.Configs)))
+	par.ForWorkers(len(req.Configs), s.evalWorkers, func(i int) {
+		defer s.inflight.Add(-1)
+		if ctx.Err() != nil {
+			return
+		}
+		out[i] = p.Eval.Evaluate(req.Configs[i])
+		s.evals.Add(1)
+	})
+	if ctx.Err() != nil {
+		return // client is gone; nothing to write to
+	}
+	writeJSON(w, http.StatusOK, EvaluateResponse{Objectives: out})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, ErrorResponse{Error: err.Error()})
+}
