@@ -1,7 +1,7 @@
 // Command docscheck keeps the documentation's file references honest: it
 // scans markdown files for repository paths (internal/..., cmd/...,
-// examples/..., docs/...) and fails if any referenced file or directory no
-// longer exists. CI runs it in the docs job, so renaming or deleting a
+// examples/..., docs/..., specs/...) and fails if any referenced file or
+// directory no longer exists. CI runs it in the docs job, so renaming or deleting a
 // file that ARCHITECTURE.md points at breaks the build until the docs are
 // updated.
 //
@@ -24,7 +24,7 @@ import (
 // character class excludes quotes and punctuation so trailing ")", "'s",
 // or "." end the match cleanly; a trailing dot is only consumed when it
 // starts a file extension.
-var pathRef = regexp.MustCompile(`\b(?:internal|cmd|examples|docs)/[A-Za-z0-9_\-./]*[A-Za-z0-9_\-]`)
+var pathRef = regexp.MustCompile(`\b(?:internal|cmd|examples|docs|specs)/[A-Za-z0-9_\-./]*[A-Za-z0-9_\-]`)
 
 // check scans the given markdown files under root and returns one message
 // per broken reference (missing doc file, or a referenced path that does
@@ -59,7 +59,7 @@ func main() {
 	flag.Parse()
 	files := flag.Args()
 	if len(files) == 0 {
-		files = []string{"README.md", "docs/ARCHITECTURE.md", "docs/WORKER_PROTOCOL.md"}
+		files = []string{"README.md", "docs/ARCHITECTURE.md", "docs/WORKER_PROTOCOL.md", "docs/SCENARIOS.md"}
 	}
 	problems := check(*root, files)
 	for _, p := range problems {

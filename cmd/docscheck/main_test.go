@@ -30,10 +30,10 @@ func TestCheckFindsBrokenReferences(t *testing.T) {
 	}
 
 	writeFile(t, root, "docs/BAD.md",
-		"Points at `internal/core/gone.go` and internal/missing twice: internal/missing.")
+		"Points at `internal/core/gone.go`, specs/nope.json, and internal/missing twice: internal/missing.")
 	problems := check(root, []string{"docs/BAD.md"})
-	if len(problems) != 2 {
-		t.Fatalf("problems = %v, want 2 (deduplicated)", problems)
+	if len(problems) != 3 {
+		t.Fatalf("problems = %v, want 3 (deduplicated)", problems)
 	}
 	for _, p := range problems {
 		if !strings.Contains(p, "docs/BAD.md references") {
@@ -69,7 +69,7 @@ func TestCheckAgainstThisRepository(t *testing.T) {
 	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
 		t.Skip("not running from the repository tree")
 	}
-	files := []string{"README.md", "docs/ARCHITECTURE.md", "docs/WORKER_PROTOCOL.md"}
+	files := []string{"README.md", "docs/ARCHITECTURE.md", "docs/WORKER_PROTOCOL.md", "docs/SCENARIOS.md"}
 	if problems := check(root, files); len(problems) != 0 {
 		t.Fatalf("repository docs have broken references:\n%s", strings.Join(problems, "\n"))
 	}

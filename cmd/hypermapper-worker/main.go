@@ -13,6 +13,12 @@
 //
 // Point a coordinator at a fleet of these with
 // `hypermapperd -workers http://host1:9090,http://host2:9090`.
+//
+// Spec-defined problems (docs/SCENARIOS.md) register the same way they do
+// on the coordinator: -problems <dir> loads a spec directory at startup,
+// POST /problems registers one at runtime (the coordinator and every
+// worker must be given the same spec so their spaces agree), and
+// -validate checks the catalog and exits.
 package main
 
 import (
@@ -37,17 +43,44 @@ func main() {
 		power = flag.Bool("power", false, "add power as a third objective")
 		evals = flag.Int("eval-workers", 0,
 			"concurrent evaluations per request batch (0 = GOMAXPROCS)")
+
+		problemsDir = flag.String("problems", "",
+			"directory of declarative problem specs (*.json, docs/SCENARIOS.md) to load at startup")
+		validate = flag.Bool("validate", false,
+			"build the problem catalog (builtins plus -problems specs), print it, and exit without serving")
 	)
 	flag.Parse()
 
+	reg := catalog.NewRegistry()
+	if err := reg.RegisterBuiltins(*scale, *power); err != nil {
+		fatalf("registering builtin problems: %v", err)
+	}
+	if *problemsDir != "" {
+		n, err := reg.LoadDir(*problemsDir)
+		if err != nil {
+			fatalf("loading problem specs: %v", err)
+		}
+		fmt.Printf("hypermapper-worker: loaded %d problem specs from %s\n", n, *problemsDir)
+	}
+	if *validate {
+		for _, p := range reg.Problems() {
+			fmt.Printf("  %-28s %d params, %d objectives, size %d\n",
+				p.Name, p.Space.Dim(), len(p.Objectives), p.Space.Size())
+		}
+		fmt.Printf("hypermapper-worker: catalog valid (%d problems)\n", reg.Len())
+		return
+	}
+
 	ws := worker.NewServer(*evals)
-	for _, p := range catalog.Problems(*scale, *power) {
-		if err := ws.Register(worker.Problem{
-			Name:       p.Name,
-			Space:      p.Space,
-			Eval:       p.Eval,
-			Objectives: len(p.Objectives),
-		}); err != nil {
+	ws.SetSpecLoader(func(data []byte) (worker.Problem, error) {
+		p, err := catalog.FromSpecData(data)
+		if err != nil {
+			return worker.Problem{}, err
+		}
+		return toWorkerProblem(p), nil
+	})
+	for _, p := range reg.Problems() {
+		if err := ws.Register(toWorkerProblem(p)); err != nil {
 			fatalf("registering %s: %v", p.Name, err)
 		}
 	}
@@ -71,6 +104,15 @@ func main() {
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "hypermapper-worker: http shutdown: %v\n", err)
+	}
+}
+
+func toWorkerProblem(p catalog.Problem) worker.Problem {
+	return worker.Problem{
+		Name:       p.Name,
+		Space:      p.Space,
+		Eval:       p.Eval,
+		Objectives: len(p.Objectives),
 	}
 }
 

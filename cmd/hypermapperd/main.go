@@ -20,6 +20,15 @@
 // re-dispatch:
 //
 //	hypermapperd -addr :8089 -workers http://w1:9090,http://w2:9090 -hedge-after 500ms
+//
+// Beyond the builtin catalog, declarative problem specs (docs/SCENARIOS.md)
+// extend what the daemon serves: -problems <dir> loads every *.json spec at
+// startup, POST /problems registers one at runtime, and -validate checks a
+// spec directory and exits — the CI gate for shipped catalogs:
+//
+//	hypermapperd -problems specs
+//	hypermapperd -validate -problems specs
+//	curl -s -X POST localhost:8089/problems --data-binary @specs/dbms_knobs.json
 package main
 
 import (
@@ -60,13 +69,45 @@ func main() {
 			"max configurations per worker request (0 selects the default)")
 		retries = flag.Int("retries", 0,
 			"extra attempts per failed worker chunk, each on a different worker (0 selects the default)")
+
+		problemsDir = flag.String("problems", "",
+			"directory of declarative problem specs (*.json, docs/SCENARIOS.md) to load at startup")
+		validate = flag.Bool("validate", false,
+			"build the problem catalog (builtins plus -problems specs), print it, and exit without serving")
 	)
 	flag.Parse()
+
+	reg := catalog.NewRegistry()
+	if err := reg.RegisterBuiltins(*scale, *power); err != nil {
+		fatalf("registering builtin problems: %v", err)
+	}
+	if *problemsDir != "" {
+		n, err := reg.LoadDir(*problemsDir)
+		if err != nil {
+			fatalf("loading problem specs: %v", err)
+		}
+		fmt.Printf("hypermapperd: loaded %d problem specs from %s\n", n, *problemsDir)
+	}
+	if *validate {
+		for _, p := range reg.Problems() {
+			fmt.Printf("  %-28s %d params, %d objectives, size %d\n",
+				p.Name, p.Space.Dim(), len(p.Objectives), p.Space.Size())
+		}
+		fmt.Printf("hypermapperd: catalog valid (%d problems)\n", reg.Len())
+		return
+	}
 
 	cfg := server.Config{
 		SessionTTL:  *sessionTTL,
 		MaxSessions: *maxSessions,
 		Shards:      *shards,
+		SpecLoader: func(data []byte) (server.Problem, error) {
+			p, err := catalog.FromSpecData(data)
+			if err != nil {
+				return server.Problem{}, err
+			}
+			return toServerProblem(p), nil
+		},
 	}
 	if *workers != "" {
 		urls := strings.Split(*workers, ",")
@@ -81,7 +122,7 @@ func main() {
 		cfg.EvalPool = pool
 	}
 
-	mgr := server.NewManagerConfig(cfg, buildProblems(*scale, *power)...)
+	mgr := server.NewManagerConfig(cfg, buildProblems(reg)...)
 
 	srv := &http.Server{Addr: *addr, Handler: mgr.Handler()}
 	errc := make(chan error, 1)
@@ -117,19 +158,24 @@ func main() {
 	}
 }
 
-// buildProblems maps the shared catalog onto the server's problem type.
-func buildProblems(scale string, power bool) []server.Problem {
+// buildProblems maps the shared catalog registry onto the server's problem
+// type.
+func buildProblems(reg *catalog.Registry) []server.Problem {
 	var out []server.Problem
-	for _, p := range catalog.Problems(scale, power) {
-		out = append(out, server.Problem{
-			Name:        p.Name,
-			Description: p.Description,
-			Space:       p.Space,
-			Eval:        p.Eval,
-			Objectives:  p.Objectives,
-		})
+	for _, p := range reg.Problems() {
+		out = append(out, toServerProblem(p))
 	}
 	return out
+}
+
+func toServerProblem(p catalog.Problem) server.Problem {
+	return server.Problem{
+		Name:        p.Name,
+		Description: p.Description,
+		Space:       p.Space,
+		Eval:        p.Eval,
+		Objectives:  p.Objectives,
+	}
 }
 
 func fatalf(format string, args ...any) {

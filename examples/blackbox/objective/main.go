@@ -1,0 +1,42 @@
+// Command objective is a standalone black-box objective program speaking
+// the exec-bridge protocol (docs/SCENARIOS.md): one JSON request per stdin
+// line ({"config":{name:value,...}}), one JSON response per stdout line
+// ({"objectives":[...]}). It knows nothing about the optimizer — this is
+// exactly the binary a user would write in any language to plug their own
+// workload into the engine.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+type request struct {
+	Config map[string]float64 `json:"config"`
+}
+
+type response struct {
+	Objectives []float64 `json:"objectives,omitempty"`
+	Error      string    `json:"error,omitempty"`
+}
+
+func main() {
+	in := bufio.NewScanner(os.Stdin)
+	out := json.NewEncoder(os.Stdout)
+	for in.Scan() {
+		var req request
+		if err := json.Unmarshal(in.Bytes(), &req); err != nil {
+			out.Encode(response{Error: fmt.Sprintf("bad request: %v", err)})
+			continue
+		}
+		x, y := req.Config["x"], req.Config["y"]
+		// A tunable two-objective surface: distance to one target vs a
+		// ridged cost that prefers the opposite corner.
+		f0 := math.Hypot(x-3, y-1)
+		f1 := x + 0.8*y + 0.4*math.Sin(2*x)*math.Cos(y)
+		out.Encode(response{Objectives: []float64{f0, f1}})
+	}
+}

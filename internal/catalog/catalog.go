@@ -1,20 +1,20 @@
-// Package catalog builds the standard problem set served by the
-// coordinator daemon (cmd/hypermapperd) and the worker daemon
-// (cmd/hypermapper-worker): one problem per benchmark × platform pair plus
-// a cheap synthetic smoke-test space. Keeping the construction in one
-// place guarantees that a coordinator and its workers agree on problem
-// names, spaces, and evaluator semantics — the worker protocol identifies
-// evaluators by name only, so both sides must build them identically.
+// Package catalog is the problem registry shared by the coordinator daemon
+// (cmd/hypermapperd) and the worker daemon (cmd/hypermapper-worker):
+// builtin problems register into it at startup and declarative spec files
+// (internal/spec) load into it, either from a -problems directory or at
+// runtime via POST /problems. Keeping registration in one place guarantees
+// that a coordinator and its workers agree on problem names, spaces, and
+// evaluator semantics — the worker protocol identifies evaluators by name
+// only, so both sides must build them identically.
 package catalog
 
 import (
 	"fmt"
-	"math"
+	"sort"
+	"sync"
 
 	"repro/internal/core"
-	"repro/internal/device"
 	"repro/internal/param"
-	"repro/internal/slambench"
 )
 
 // Problem is one named optimization target, daemon-agnostic: hypermapperd
@@ -30,55 +30,62 @@ type Problem struct {
 	Objectives []string
 }
 
-// Problems returns the full standard set for the given dataset scale
-// ("full", "dse", or "test"), with power as a third objective when
-// requested: every benchmark × platform pair plus Synthetic.
-func Problems(scale string, power bool) []Problem {
-	objs, names := slambench.RuntimeAccuracy, []string{"runtime_s_per_frame", "accuracy_ate_m"}
-	if power {
-		objs, names = slambench.RuntimeAccuracyPower, append(names, "power_w")
+// Registry is a named problem collection with deterministic iteration
+// order. The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	problems map[string]Problem
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{problems: make(map[string]Problem)}
+}
+
+// Register validates and adds a problem, replacing any existing problem of
+// the same name (later wins, so a spec file can override a builtin).
+func (r *Registry) Register(p Problem) error {
+	if p.Name == "" {
+		return fmt.Errorf("catalog: problem with an empty name")
 	}
-	ds := slambench.CachedDataset(scale)
-	benches := []slambench.Benchmark{
-		slambench.NewKFusionBench(ds),
-		slambench.NewElasticFusionBench(ds),
+	if p.Space == nil {
+		return fmt.Errorf("catalog: problem %q has no space", p.Name)
 	}
-	var out []Problem
-	for _, b := range benches {
-		for _, dev := range device.Platforms() {
-			out = append(out, Problem{
-				Name:        b.Name() + "/" + dev.Name,
-				Description: fmt.Sprintf("%s on %s (%s dataset)", b.Name(), dev.Name, scale),
-				Space:       b.Space(),
-				Eval:        slambench.Evaluator(b, dev, objs),
-				Objectives:  names,
-			})
-		}
+	if p.Eval == nil {
+		return fmt.Errorf("catalog: problem %q has no evaluator", p.Name)
 	}
-	out = append(out, Synthetic())
+	if len(p.Objectives) == 0 {
+		return fmt.Errorf("catalog: problem %q has no objectives", p.Name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.problems[p.Name] = p
+	return nil
+}
+
+// Get returns the named problem.
+func (r *Registry) Get(name string) (Problem, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p, ok := r.problems[name]
+	return p, ok
+}
+
+// Problems returns every registered problem, sorted by name.
+func (r *Registry) Problems() []Problem {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Problem, 0, len(r.problems))
+	for _, p := range r.problems {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
 
-// Synthetic is a dataset-free two-objective toy space, useful for
-// exercising a deployment without paying for SLAM evaluations.
-func Synthetic() Problem {
-	space := param.MustSpace(
-		param.Grid("a", 0, 4, 40),
-		param.Grid("b", 0, 4, 40),
-		param.Levels("c", 1, 2, 3),
-	)
-	eval := core.EvaluatorFunc(func(cfg param.Config) []float64 {
-		a, b, c := cfg[0], cfg[1], cfg[2]
-		return []float64{
-			a + 0.5*math.Sin(3*b) + 0.05*c + 1.5,
-			b + 0.5*math.Cos(2*a) + 1.5,
-		}
-	})
-	return Problem{
-		Name:        "synthetic",
-		Description: "dataset-free two-objective toy space for smoke tests",
-		Space:       space,
-		Eval:        eval,
-		Objectives:  []string{"f0", "f1"},
-	}
+// Len reports the number of registered problems.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.problems)
 }

@@ -1,0 +1,99 @@
+package catalog
+
+import (
+	"fmt"
+
+	"repro/internal/spec"
+	"repro/internal/worker"
+)
+
+// FromSpec materializes a declarative problem spec into a registrable
+// Problem: the space is built with its constraints compiled in, and the
+// evaluator binding resolves to a builtin model, an exec bridge, or an
+// HTTP bridge (internal/worker). Exec and HTTP evaluators are constructed
+// lazily enough to be safe here — no subprocess is started and no request
+// is sent until the first evaluation.
+func FromSpec(sp *spec.Spec) (Problem, error) {
+	if err := sp.Validate(); err != nil {
+		return Problem{}, err
+	}
+	space, err := sp.Space()
+	if err != nil {
+		return Problem{}, err
+	}
+	binding, err := spec.ParseBinding(sp.Evaluator)
+	if err != nil {
+		return Problem{}, fmt.Errorf("spec %q: %w", sp.Name, err)
+	}
+	p := Problem{
+		Name:        sp.Name,
+		Description: sp.Description,
+		Space:       space,
+		Objectives:  append([]string(nil), sp.Objectives...),
+	}
+	switch binding.Kind {
+	case "builtin":
+		ctor, ok := models[binding.Target]
+		if !ok {
+			return Problem{}, fmt.Errorf("spec %q: no builtin model %q (have %v)",
+				sp.Name, binding.Target, BuiltinModels())
+		}
+		p.Eval, err = ctor(space, sp.Objectives)
+		if err != nil {
+			return Problem{}, fmt.Errorf("spec %q: %w", sp.Name, err)
+		}
+	case "exec":
+		p.Eval, err = worker.NewExecEvaluator(binding.Target, space, len(sp.Objectives))
+		if err != nil {
+			return Problem{}, fmt.Errorf("spec %q: %w", sp.Name, err)
+		}
+	case "http":
+		p.Eval = worker.NewHTTPEvaluator(binding.Target, space, len(sp.Objectives))
+	default:
+		return Problem{}, fmt.Errorf("spec %q: unknown binding kind %q", sp.Name, binding.Kind)
+	}
+	return p, nil
+}
+
+// FromSpecData parses raw spec JSON and materializes it — the loader shape
+// both daemons plug into their POST /problems endpoints.
+func FromSpecData(data []byte) (Problem, error) {
+	sp, err := spec.Parse(data)
+	if err != nil {
+		return Problem{}, err
+	}
+	return FromSpec(sp)
+}
+
+// AddSpec materializes and registers one spec.
+func (r *Registry) AddSpec(sp *spec.Spec) error {
+	p, err := FromSpec(sp)
+	if err != nil {
+		return err
+	}
+	return r.Register(p)
+}
+
+// AddSpecData parses, materializes, and registers raw spec JSON.
+func (r *Registry) AddSpecData(data []byte) error {
+	p, err := FromSpecData(data)
+	if err != nil {
+		return err
+	}
+	return r.Register(p)
+}
+
+// LoadDir registers every *.json spec in dir (sorted by name; later files
+// win name collisions) and reports how many were loaded.
+func (r *Registry) LoadDir(dir string) (int, error) {
+	specs, err := spec.LoadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, sp := range specs {
+		if err := r.AddSpec(sp); err != nil {
+			return 0, err
+		}
+	}
+	return len(specs), nil
+}

@@ -468,7 +468,7 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 func legacyPredict(space *param.Space, rng *rand.Rand, o Options, evaluated map[int64]int, forests []*forest.Forest) (predicted []pareto.Point, encodeTime, predictTime time.Duration) {
 	dim := space.Dim()
 	encStart := time.Now()
-	poolIdx := predictionPool(space, rng, o.PoolCap, evaluated)
+	poolIdx, _ := predictionPool(space, rng, o.PoolCap, evaluated)
 	feats := make([][]float64, len(poolIdx))
 	flat := make([]float64, len(poolIdx)*dim)
 	cfg := make(param.Config, dim)
@@ -619,19 +619,20 @@ func fitForests(ctx context.Context, cols *forest.Columns, ys [][]float64, o Opt
 	return forests, oob, oobN, nil
 }
 
-// predictionPool returns the pool X of Algorithm 1: the whole space when it
-// fits under cap, otherwise cap fresh random indices plus every evaluated
-// index (so the predicted front can stabilize onto measured points and the
-// loop can converge).
-func predictionPool(space *param.Space, rng *rand.Rand, poolCap int, evaluated map[int64]int) []int64 {
+// predictionPool returns the pool X of Algorithm 1: every feasible index
+// when the space fits under cap, otherwise up to cap fresh random feasible
+// indices plus every evaluated index (so the predicted front can stabilize
+// onto measured points and the loop can converge). fresh is the length of
+// the leading enumerated-or-drawn segment — on a constrained space the
+// sampler can return fewer than poolCap draws, so callers that encode the
+// fresh segment separately must not assume it is poolCap long.
+func predictionPool(space *param.Space, rng *rand.Rand, poolCap int, evaluated map[int64]int) (pool []int64, fresh int) {
 	if space.Size() <= int64(poolCap) {
-		pool := make([]int64, space.Size())
-		for i := range pool {
-			pool[i] = int64(i)
-		}
-		return pool
+		pool = space.FeasibleIndices()
+		return pool, len(pool)
 	}
-	pool := space.SampleIndices(rng, poolCap)
+	pool = space.SampleIndices(rng, poolCap)
+	fresh = len(pool)
 	seen := make(map[int64]struct{}, len(pool))
 	for _, idx := range pool {
 		seen[idx] = struct{}{}
@@ -646,7 +647,7 @@ func predictionPool(space *param.Space, rng *rand.Rand, poolCap int, evaluated m
 		}
 	}
 	slices.Sort(extra)
-	return append(pool, extra...)
+	return append(pool, extra...), fresh
 }
 
 // measuredFront computes the Pareto front of the measured samples.

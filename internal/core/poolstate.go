@@ -111,23 +111,21 @@ func (st *poolState) columns() (*forest.Columns, error) {
 func (st *poolState) pool(rng *rand.Rand, evaluated map[int64]int, workers int) []int64 {
 	if st.enumerable {
 		if st.poolFlat == nil {
-			n := int(st.space.Size())
-			st.poolIdx = make([]int64, n)
-			for i := range st.poolIdx {
-				st.poolIdx[i] = int64(i)
-			}
-			st.poolFlat = make([]float64, n*st.dim)
-			st.encodeRange(0, n, workers)
+			// For a constrained space the pool is the feasible subset only:
+			// the predicted front must never nominate a configuration the
+			// evaluator would reject.
+			st.poolIdx = st.space.FeasibleIndices()
+			st.poolFlat = make([]float64, len(st.poolIdx)*st.dim)
+			st.encodeRange(0, len(st.poolIdx), workers)
 		}
 		return st.poolIdx
 	}
 
 	// Same draw (and rng consumption) as the legacy path; on this branch the
-	// space exceeds poolCap, so the first poolCap entries are the fresh
-	// random draws and the rest is the sorted evaluated suffix, whose
-	// encodings are cached.
-	pool := predictionPool(st.space, rng, st.poolCap, evaluated)
-	fresh := st.poolCap
+	// space exceeds poolCap, so the leading fresh entries are the random
+	// draws (poolCap of them, fewer on a tightly constrained space) and the
+	// rest is the sorted evaluated suffix, whose encodings are cached.
+	pool, fresh := predictionPool(st.space, rng, st.poolCap, evaluated)
 
 	if cap(st.poolFlat) < len(pool)*st.dim {
 		st.poolFlat = make([]float64, len(pool)*st.dim)

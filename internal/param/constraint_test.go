@@ -1,0 +1,157 @@
+package param
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestGridDegenerateKnotCounts(t *testing.T) {
+	for _, n := range []int{-3, 0, 1} {
+		g := Grid("g", 2, 8, n)
+		if len(g.Values) != 1 || g.Values[0] != 2 {
+			t.Fatalf("Grid(n=%d).Values = %v, want [2]", n, g.Values)
+		}
+		lg := LogGrid("lg", 2, 8, n)
+		if len(lg.Values) != 1 || lg.Values[0] != 2 {
+			t.Fatalf("LogGrid(n=%d).Values = %v, want [2]", n, lg.Values)
+		}
+		if !lg.LogScale {
+			t.Fatalf("LogGrid(n=%d) lost its log scale", n)
+		}
+	}
+}
+
+// chainSpace is a small constrained space: b must exceed a.
+func chainSpace(t *testing.T) *Space {
+	t.Helper()
+	s := MustSpace(
+		Grid("a", 0, 4, 5),
+		Grid("b", 0, 4, 5),
+	)
+	s.SetConstraint(func(cfg Config) bool { return cfg[1] > cfg[0] })
+	return s
+}
+
+func TestConstraintFeasibleAndValidate(t *testing.T) {
+	s := chainSpace(t)
+	if !s.Constrained() {
+		t.Fatal("Constrained() = false")
+	}
+	ok := Config{0, 1}
+	bad := Config{3, 1}
+	if !s.Feasible(ok) || s.Feasible(bad) {
+		t.Fatalf("Feasible(%v)=%v, Feasible(%v)=%v", ok, s.Feasible(ok), bad, s.Feasible(bad))
+	}
+	if err := s.Validate(ok); err != nil {
+		t.Fatalf("Validate(feasible) = %v", err)
+	}
+	if err := s.Validate(bad); err == nil {
+		t.Fatal("Validate accepted an infeasible configuration")
+	}
+
+	// Unconstrained spaces accept everything on the grid.
+	u := MustSpace(Grid("a", 0, 4, 5))
+	if u.Constrained() || !u.Feasible(Config{3}) {
+		t.Fatal("unconstrained space rejected a grid configuration")
+	}
+}
+
+func TestFeasibleIndices(t *testing.T) {
+	s := chainSpace(t)
+	idx := s.FeasibleIndices()
+	// b > a over a 5×5 grid: 10 pairs.
+	if len(idx) != 10 {
+		t.Fatalf("feasible count = %d, want 10", len(idx))
+	}
+	for i, id := range idx {
+		if i > 0 && idx[i-1] >= id {
+			t.Fatalf("indices not ascending at %d: %v", i, idx)
+		}
+		if !s.Feasible(s.AtIndex(id)) {
+			t.Fatalf("index %d reported feasible but is not", id)
+		}
+	}
+
+	u := MustSpace(Grid("a", 0, 4, 5))
+	if got := u.FeasibleIndices(); int64(len(got)) != u.Size() {
+		t.Fatalf("unconstrained feasible count = %d, want %d", len(got), u.Size())
+	}
+}
+
+func TestSampleIndicesConstrained(t *testing.T) {
+	s := chainSpace(t)
+	rng := rand.New(rand.NewSource(7))
+	got := s.SampleIndices(rng, 6)
+	if len(got) != 6 {
+		t.Fatalf("drew %d indices, want 6", len(got))
+	}
+	seen := map[int64]bool{}
+	for _, id := range got {
+		if seen[id] {
+			t.Fatalf("duplicate index %d in %v", id, got)
+		}
+		seen[id] = true
+		if !s.Feasible(s.AtIndex(id)) {
+			t.Fatalf("sampled infeasible index %d", id)
+		}
+	}
+
+	// Asking for more than the feasible count returns exactly the feasible
+	// set, shuffled.
+	all := s.SampleIndices(rng, 100)
+	if len(all) != 10 {
+		t.Fatalf("oversized draw returned %d indices, want 10", len(all))
+	}
+}
+
+func TestSampleIndicesTightConstraintFallsBack(t *testing.T) {
+	// One feasible point in 10⁴: rejection sampling alone would almost
+	// surely exhaust its budget, so the draw must fall back to enumeration
+	// and still find it.
+	s := MustSpace(
+		Grid("a", 0, 1, 100),
+		Grid("b", 0, 1, 100),
+	)
+	s.SetConstraint(func(cfg Config) bool { return cfg[0] == 0 && cfg[1] == 1 })
+	rng := rand.New(rand.NewSource(1))
+	got := s.SampleIndices(rng, 5)
+	if len(got) != 1 {
+		t.Fatalf("drew %v, want exactly the single feasible index", got)
+	}
+	if cfg := s.AtIndex(got[0]); cfg[0] != 0 || cfg[1] != 1 {
+		t.Fatalf("feasible config = %v", cfg)
+	}
+}
+
+func TestSampleIndicesUnconstrainedConsumptionUnchanged(t *testing.T) {
+	// Installing and removing a constraint must leave the unconstrained
+	// rng consumption untouched — seeded-run byte-identity across engine
+	// versions depends on it.
+	s := MustSpace(Grid("a", 0, 4, 40), Grid("b", 0, 4, 40))
+	ref := rand.New(rand.NewSource(42))
+	want := s.SampleIndices(ref, 50)
+
+	s.SetConstraint(func(Config) bool { return true })
+	s.SetConstraint(nil)
+	got := s.SampleIndices(rand.New(rand.NewSource(42)), 50)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("draw diverged at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConstraintWithLogScale(t *testing.T) {
+	// Constraints see decoded values, not encodings.
+	s := MustSpace(LogGrid("p", 1, 1024, 11))
+	s.SetConstraint(func(cfg Config) bool { return cfg[0] >= 32 })
+	for _, id := range s.FeasibleIndices() {
+		if v := s.AtIndex(id)[0]; v < 32 || math.IsNaN(v) {
+			t.Fatalf("feasible value %g < 32", v)
+		}
+	}
+	if n := len(s.FeasibleIndices()); n != 6 {
+		t.Fatalf("feasible count = %d, want 6", n)
+	}
+}

@@ -76,7 +76,9 @@ func Levels(name string, values ...float64) Parameter {
 }
 
 // Grid returns a Real parameter with n values evenly spaced over [lo, hi]
-// inclusive.
+// inclusive. Degenerate knot counts clamp rather than panic: n < 2 yields
+// the single value lo (callers that need a hard error, like the spec
+// loader, validate the count before constructing the grid).
 func Grid(name string, lo, hi float64, n int) Parameter {
 	if n < 2 {
 		return Parameter{Name: name, Kind: Real, Values: []float64{lo}}
@@ -89,20 +91,21 @@ func Grid(name string, lo, hi float64, n int) Parameter {
 }
 
 // LogGrid returns a Real, log-scaled parameter with n values geometrically
-// spaced over [lo, hi] inclusive. lo and hi must be positive.
+// spaced over [lo, hi] inclusive. lo and hi must be positive. Degenerate
+// knot counts clamp exactly like Grid: n < 2 yields the single value lo
+// (previously n ≤ 0 panicked on an empty slice).
 func LogGrid(name string, lo, hi float64, n int) Parameter {
-	vs := make([]float64, n)
-	if n == 1 {
-		vs[0] = lo
-	} else {
-		ratio := math.Pow(hi/lo, 1/float64(n-1))
-		v := lo
-		for i := range vs {
-			vs[i] = v
-			v *= ratio
-		}
-		vs[n-1] = hi // avoid accumulation error on the last knot
+	if n < 2 {
+		return Parameter{Name: name, Kind: Real, Values: []float64{lo}, LogScale: true}
 	}
+	vs := make([]float64, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	v := lo
+	for i := range vs {
+		vs[i] = v
+		v *= ratio
+	}
+	vs[n-1] = hi // avoid accumulation error on the last knot
 	return Parameter{Name: name, Kind: Real, Values: vs, LogScale: true}
 }
 
@@ -113,11 +116,24 @@ type Config []float64
 // Clone returns a copy of c.
 func (c Config) Clone() Config { return append(Config(nil), c...) }
 
-// Space is a finite Cartesian-product design space.
+// Predicate reports whether a configuration is feasible. Implementations
+// must be pure and safe for concurrent use: the optimizer consults the
+// predicate from sampling, validation, and pool-construction paths that
+// run in parallel.
+type Predicate func(Config) bool
+
+// Space is a finite Cartesian-product design space, optionally restricted
+// to the configurations a constraint Predicate accepts.
 type Space struct {
 	params []Parameter
 	byName map[string]int
 	size   int64
+
+	// constraint, when non-nil, restricts the space to feasible
+	// configurations: sampling never emits an infeasible one and Validate
+	// rejects them. Size() still reports the unconstrained product — the
+	// index space is unchanged, only which indices are admissible.
+	constraint Predicate
 }
 
 // NewSpace builds a space from the given parameters. It returns an error if
@@ -156,6 +172,44 @@ func MustSpace(params ...Parameter) *Space {
 		panic(err)
 	}
 	return s
+}
+
+// SetConstraint installs a feasibility predicate. It must be called while
+// the space is still being set up, before it is shared across goroutines;
+// passing nil removes the constraint.
+func (s *Space) SetConstraint(pred Predicate) { s.constraint = pred }
+
+// Constrained reports whether the space carries a feasibility constraint.
+func (s *Space) Constrained() bool { return s.constraint != nil }
+
+// Feasible reports whether cfg satisfies the space's constraint; an
+// unconstrained space accepts every configuration. It checks only the
+// constraint — membership of the grid is Validate's job.
+func (s *Space) Feasible(cfg Config) bool {
+	return s.constraint == nil || s.constraint(cfg)
+}
+
+// FeasibleIndices returns every feasible configuration index in ascending
+// order; without a constraint that is every index. It materializes the
+// whole list — O(Size) time — so it is meant for spaces bounded by a pool
+// cap, not for the full 10¹⁸-point products NewSpace admits.
+func (s *Space) FeasibleIndices() []int64 {
+	if s.constraint == nil {
+		all := make([]int64, s.size)
+		for i := range all {
+			all[i] = int64(i)
+		}
+		return all
+	}
+	out := make([]int64, 0, s.size)
+	cfg := make(Config, len(s.params))
+	for idx := int64(0); idx < s.size; idx++ {
+		s.AtIndexInto(idx, cfg)
+		if s.constraint(cfg) {
+			out = append(out, idx)
+		}
+	}
+	return out
 }
 
 // Size returns the number of configurations in the space.
@@ -263,15 +317,28 @@ func (s *Space) IndexOf(cfg Config) (int64, error) {
 	return idx, nil
 }
 
-// Validate reports whether cfg is a member of the space.
+// Validate reports whether cfg is a member of the space: every value an
+// admissible level of its parameter, and — on a constrained space — the
+// configuration feasible.
 func (s *Space) Validate(cfg Config) error {
-	_, err := s.IndexOf(cfg)
-	return err
+	if _, err := s.IndexOf(cfg); err != nil {
+		return err
+	}
+	if !s.Feasible(cfg) {
+		return fmt.Errorf("param: configuration %v violates the space constraint", cfg)
+	}
+	return nil
 }
 
-// SampleIndices draws n distinct configuration indices uniformly at random.
-// If n >= Size() it returns every index. The result is in random order.
+// SampleIndices draws n distinct feasible configuration indices uniformly
+// at random. If n meets or exceeds the feasible count it returns every
+// feasible index. The result is in random order. On a heavily constrained
+// space it can return fewer than n indices — there may simply not be n
+// feasible configurations.
 func (s *Space) SampleIndices(rng *rand.Rand, n int) []int64 {
+	if s.constraint != nil {
+		return s.sampleConstrained(rng, n)
+	}
 	if int64(n) >= s.size {
 		all := make([]int64, s.size)
 		for i := range all {
@@ -291,6 +358,59 @@ func (s *Space) SampleIndices(rng *rand.Rand, n int) []int64 {
 		}
 		seen[idx] = struct{}{}
 		out = append(out, idx)
+	}
+	return out
+}
+
+// sampleConstrained is SampleIndices for a constrained space: rejection
+// sampling first (cheap while the feasible fraction is healthy), then a
+// full feasible enumeration when the space is mostly infeasible — so the
+// draw terminates and stays uniform no matter how tight the constraint is.
+func (s *Space) sampleConstrained(rng *rand.Rand, n int) []int64 {
+	cfg := make(Config, len(s.params))
+	feasible := func(idx int64) bool {
+		s.AtIndexInto(idx, cfg)
+		return s.constraint(cfg)
+	}
+	if int64(n) >= s.size {
+		all := s.FeasibleIndices()
+		rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+		return all
+	}
+	seen := make(map[int64]struct{}, n)
+	out := make([]int64, 0, n)
+	// ~64 draws per requested sample handles feasible fractions down to a
+	// few percent; below that the enumeration fallback is cheaper than
+	// spinning on rejections.
+	for attempts := 64*n + 1024; attempts > 0 && len(out) < n; attempts-- {
+		idx := rng.Int63n(s.size)
+		if _, dup := seen[idx]; dup {
+			continue
+		}
+		if !feasible(idx) {
+			continue
+		}
+		seen[idx] = struct{}{}
+		out = append(out, idx)
+	}
+	if len(out) < n {
+		// Sparse feasible set: enumerate every feasible index not already
+		// drawn, shuffle, and top the sample up (possibly short of n when
+		// fewer feasible configurations exist).
+		rest := make([]int64, 0, n-len(out))
+		for idx := int64(0); idx < s.size; idx++ {
+			if _, dup := seen[idx]; dup {
+				continue
+			}
+			if feasible(idx) {
+				rest = append(rest, idx)
+			}
+		}
+		rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+		if need := n - len(out); len(rest) > need {
+			rest = rest[:need]
+		}
+		out = append(out, rest...)
 	}
 	return out
 }

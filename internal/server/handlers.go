@@ -4,37 +4,94 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 
 	"repro/internal/core"
+	"repro/internal/worker"
 )
+
+// probJSON is one GET /problems entry (and the POST /problems success
+// body): identity plus enough per-parameter detail for a client to render
+// the space without the problem's spec. Parameter details reuse the worker
+// protocol's shape so a coordinator and its workers advertise problems
+// identically.
+type probJSON struct {
+	Name        string             `json:"name"`
+	Description string             `json:"description,omitempty"`
+	SpaceSize   int64              `json:"space_size"`
+	Parameters  []worker.ParamInfo `json:"parameters"`
+	Constrained bool               `json:"constrained,omitempty"`
+	Objectives  []string           `json:"objectives"`
+}
+
+func toProbJSON(p Problem) probJSON {
+	return probJSON{
+		Name:        p.Name,
+		Description: p.Description,
+		SpaceSize:   p.Space.Size(),
+		Parameters:  worker.ParamInfos(p.Space),
+		Constrained: p.Space.Constrained(),
+		Objectives:  p.Objectives,
+	}
+}
+
+// validateProblem guards runtime registration: Manager.Register trusts its
+// caller, but a spec loader's output crosses a network boundary and must
+// be complete before it can back sessions.
+func validateProblem(p Problem) error {
+	switch {
+	case p.Name == "":
+		return errors.New("problem with an empty name")
+	case p.Space == nil:
+		return fmt.Errorf("problem %q has no space", p.Name)
+	case p.Eval == nil:
+		return fmt.Errorf("problem %q has no evaluator", p.Name)
+	case len(p.Objectives) == 0:
+		return fmt.Errorf("problem %q has no objectives", p.Name)
+	}
+	return nil
+}
 
 // Handler returns the REST API for the manager.
 func (m *Manager) Handler() http.Handler {
 	mux := http.NewServeMux()
 
 	mux.HandleFunc("GET /problems", func(w http.ResponseWriter, r *http.Request) {
-		type probJSON struct {
-			Name        string   `json:"name"`
-			Description string   `json:"description,omitempty"`
-			SpaceSize   int64    `json:"space_size"`
-			Parameters  []string `json:"parameters"`
-			Objectives  []string `json:"objectives"`
-		}
 		probs := m.Problems()
 		// Non-nil even with no registered problems: strict clients expect
 		// [], not null.
 		out := make([]probJSON, 0, len(probs))
 		for _, p := range probs {
-			out = append(out, probJSON{
-				Name:        p.Name,
-				Description: p.Description,
-				SpaceSize:   p.Space.Size(),
-				Parameters:  p.Space.Names(),
-				Objectives:  p.Objectives,
-			})
+			out = append(out, toProbJSON(p))
 		}
 		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("POST /problems", func(w http.ResponseWriter, r *http.Request) {
+		if m.cfg.SpecLoader == nil {
+			writeError(w, http.StatusNotImplemented,
+				errors.New("this daemon was started without spec support"))
+			return
+		}
+		// A spec is human-written JSON, kilobytes at most.
+		r.Body = http.MaxBytesReader(w, r.Body, 1<<20)
+		data, err := io.ReadAll(r.Body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("reading spec: %w", err))
+			return
+		}
+		p, err := m.cfg.SpecLoader(data)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := validateProblem(p); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		m.Register(p)
+		writeJSON(w, http.StatusCreated, toProbJSON(p))
 	})
 
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {

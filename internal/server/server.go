@@ -8,6 +8,7 @@
 // Endpoints:
 //
 //	GET    /problems         list the registered optimization problems
+//	POST   /problems         register a declarative problem spec at runtime
 //	GET    /stats            session-store and eviction counters
 //	POST   /runs             start a DSE session           → 201 + status
 //	GET    /runs             list sessions
@@ -148,6 +149,11 @@ type Config struct {
 	// health counters are surfaced in GET /stats. Seeded runs produce
 	// byte-identical results either way.
 	EvalPool *worker.Pool
+	// SpecLoader, when non-nil, materializes a problem from a raw
+	// declarative spec document (internal/spec) and enables runtime
+	// registration via POST /problems. The daemon wires this to the
+	// catalog's spec loader; with no loader the endpoint answers 501.
+	SpecLoader func(data []byte) (Problem, error)
 }
 
 func (c Config) janitorInterval() time.Duration {

@@ -1,0 +1,234 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/worker"
+)
+
+// TestHelperSpecObjective is not a test: it is the exec-bridge objective
+// program for the acceptance test below, re-invoked from this test binary.
+func TestHelperSpecObjective(t *testing.T) {
+	if os.Getenv("SPEC_BRIDGE_HELPER") == "" {
+		return
+	}
+	in := bufio.NewScanner(os.Stdin)
+	out := json.NewEncoder(os.Stdout)
+	for in.Scan() {
+		var req worker.ExecRequest
+		if err := json.Unmarshal(in.Bytes(), &req); err != nil {
+			out.Encode(worker.ExecResponse{Error: err.Error()})
+			continue
+		}
+		x, y := req.Config["x"], req.Config["y"]
+		out.Encode(worker.ExecResponse{Objectives: []float64{
+			(x-3)*(x-3) + (y-1)*(y-1),
+			x + 0.8*y,
+		}})
+	}
+	os.Exit(0)
+}
+
+// specDoc is a complete declarative problem: a constrained space bound to
+// this test binary through the exec bridge.
+func specDoc(t *testing.T) []byte {
+	t.Helper()
+	t.Setenv("SPEC_BRIDGE_HELPER", "1")
+	return []byte(fmt.Sprintf(`{
+  "version": 1,
+  "name": "spec-e2e",
+  "description": "acceptance problem for spec-defined exec evaluation",
+  "parameters": [
+    {"name": "x", "kind": "grid", "low": 0, "high": 5, "points": 26},
+    {"name": "y", "kind": "grid", "low": 0, "high": 5, "points": 26}
+  ],
+  "constraints": [{"then": "y <= x"}],
+  "objectives": ["distance", "cost"],
+  "evaluator": "exec:%s -test.run=^TestHelperSpecObjective$"
+}`, os.Args[0]))
+}
+
+// specLoader is the same adapter cmd/hypermapperd wires into its Config.
+func specLoader(data []byte) (Problem, error) {
+	p, err := catalog.FromSpecData(data)
+	if err != nil {
+		return Problem{}, err
+	}
+	return Problem{
+		Name:        p.Name,
+		Description: p.Description,
+		Space:       p.Space,
+		Eval:        p.Eval,
+		Objectives:  p.Objectives,
+	}, nil
+}
+
+func TestSpecProblemEndToEndByteIdentical(t *testing.T) {
+	// The acceptance criterion of the declarative problem layer: a seeded
+	// run over a spec-loaded problem with an exec-bridge evaluator must
+	// produce a byte-identical front whether the spec was registered at
+	// startup, registered at runtime via POST /problems, or evaluated
+	// remotely across a worker fleet that had the spec POSTed to it.
+	doc := specDoc(t)
+	req := RunRequest{Problem: "spec-e2e", Seed: 77, RandomSamples: 20, MaxIterations: 2, MaxBatch: 10}
+
+	// Startup registration (the -problems path).
+	startupProb, err := specLoader(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, startupProb)
+	front := getFrontJSON(t, ts, runToDone(t, ts, req))
+
+	// Runtime registration over the API.
+	_, ts2 := newTestServerConfig(t, Config{SpecLoader: specLoader})
+	resp, err := http.Post(ts2.URL+"/problems", "application/json", strings.NewReader(string(doc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var created struct {
+		Name        string `json:"name"`
+		Constrained bool   `json:"constrained"`
+		Parameters  []struct {
+			Name   string    `json:"name"`
+			Kind   string    `json:"kind"`
+			Values []float64 `json:"values"`
+		} `json:"parameters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&created); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("POST /problems = %d", resp.StatusCode)
+	}
+	if created.Name != "spec-e2e" || !created.Constrained || len(created.Parameters) != 2 {
+		t.Fatalf("registration reply = %+v", created)
+	}
+	if created.Parameters[0].Kind != "real" || len(created.Parameters[0].Values) != 26 {
+		t.Fatalf("parameter detail = %+v", created.Parameters[0])
+	}
+	if front2 := getFrontJSON(t, ts2, runToDone(t, ts2, req)); front2 != front {
+		t.Fatalf("runtime-registered front differs from startup-registered:\n%s\nvs\n%s", front2, front)
+	}
+
+	// Distributed: every worker gets the spec at runtime, the coordinator
+	// fans evaluation out to them (its own evaluator is bypassed).
+	urls := make([]string, 2)
+	for i := range urls {
+		ws := worker.NewServer(2)
+		ws.SetSpecLoader(func(data []byte) (worker.Problem, error) {
+			p, err := catalog.FromSpecData(data)
+			if err != nil {
+				return worker.Problem{}, err
+			}
+			return worker.Problem{Name: p.Name, Space: p.Space, Eval: p.Eval, Objectives: len(p.Objectives)}, nil
+		})
+		srv := httptest.NewServer(ws.Handler())
+		t.Cleanup(srv.Close)
+		resp, err := http.Post(srv.URL+"/problems", "application/json", strings.NewReader(string(doc)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("worker %d spec registration = %d", i, resp.StatusCode)
+		}
+		urls[i] = srv.URL
+	}
+	pool, err := worker.NewPool(urls, worker.Options{ChunkSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordProb, err := specLoader(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ts3 := newTestServerConfig(t, Config{EvalPool: pool}, coordProb)
+	if front3 := getFrontJSON(t, ts3, runToDone(t, ts3, req)); front3 != front {
+		t.Fatalf("distributed front differs from local:\n%s\nvs\n%s", front3, front)
+	}
+}
+
+// runToDone starts a run and waits for successful completion.
+func runToDone(t *testing.T, ts *httptest.Server, req RunRequest) string {
+	t.Helper()
+	st := postRun(t, ts, req)
+	done := waitTerminal(t, ts, st.ID)
+	if done.State != StateDone {
+		t.Fatalf("run %s finished %s: %s", st.ID, done.State, done.Error)
+	}
+	return st.ID
+}
+
+func TestSpecRegistrationWithoutLoaderIs501(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/problems", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("POST /problems without loader = %d, want 501", resp.StatusCode)
+	}
+}
+
+func TestSpecRegistrationRejectsBadSpec(t *testing.T) {
+	_, ts := newTestServerConfig(t, Config{SpecLoader: specLoader})
+	for name, doc := range map[string]string{
+		"malformed json": `{`,
+		"unknown field":  `{"version":1,"name":"x","bogus":true}`,
+		"bad constraint": `{"version":1,"name":"x","parameters":[{"name":"a","kind":"bool"}],"constraints":[{"then":"zzz == 1"}],"objectives":["f"],"evaluator":"http://h/e"}`,
+	} {
+		resp, err := http.Post(ts.URL+"/problems", "application/json", strings.NewReader(doc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s = %d, want 400", name, resp.StatusCode)
+		}
+	}
+}
+
+func TestProblemsEndpointParameterDetail(t *testing.T) {
+	// The builtin problems advertise per-parameter detail too, with
+	// non-null values arrays and no constraint flag.
+	_, ts := newTestServer(t, testProblem("toy", 0))
+	resp, err := http.Get(ts.URL + "/problems")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var probs []struct {
+		Name        string `json:"name"`
+		Constrained bool   `json:"constrained"`
+		Parameters  []struct {
+			Name     string    `json:"name"`
+			Kind     string    `json:"kind"`
+			Values   []float64 `json:"values"`
+			LogScale bool      `json:"log_scale"`
+		} `json:"parameters"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&probs); err != nil {
+		t.Fatal(err)
+	}
+	if len(probs) != 1 || len(probs[0].Parameters) != 2 {
+		t.Fatalf("problems = %+v", probs)
+	}
+	p := probs[0].Parameters[0]
+	if p.Name != "a" || p.Kind != "real" || len(p.Values) != 40 || p.LogScale {
+		t.Fatalf("parameter detail = %+v", p)
+	}
+	if probs[0].Constrained {
+		t.Fatal("unconstrained problem advertised a constraint")
+	}
+}

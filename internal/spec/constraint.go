@@ -1,0 +1,158 @@
+package spec
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/param"
+)
+
+// operand is one side of a comparison: a parameter reference or a numeric
+// literal.
+type operand struct {
+	name    string // parameter name when isParam
+	value   float64
+	isParam bool
+}
+
+// comparison is one parsed "lhs OP rhs" clause.
+type comparison struct {
+	lhs, rhs operand
+	op       string
+}
+
+// compOps lists the comparison operators, two-character ones first so
+// "a <= b" is never misparsed as "<" against "= b".
+var compOps = []string{"<=", ">=", "==", "!=", "<", ">"}
+
+// parseComparison parses "operand OP operand". Exactly one operator must
+// appear — chained comparisons ("a < b < c") are two clauses, not one.
+func parseComparison(expr string) (comparison, error) {
+	for _, op := range compOps {
+		i := strings.Index(expr, op)
+		if i < 0 {
+			continue
+		}
+		lhs, err := parseOperand(expr[:i])
+		if err != nil {
+			return comparison{}, fmt.Errorf("in %q: %w", expr, err)
+		}
+		rhs, err := parseOperand(expr[i+len(op):])
+		if err != nil {
+			return comparison{}, fmt.Errorf("in %q: %w", expr, err)
+		}
+		return comparison{lhs: lhs, op: op, rhs: rhs}, nil
+	}
+	return comparison{}, fmt.Errorf("comparison %q has no operator (want <, <=, >, >=, ==, or !=)", expr)
+}
+
+// parseOperand parses one trimmed operand: a numeric literal if it scans
+// as one, else a parameter name (resolved against the space at compile
+// time).
+func parseOperand(s string) (operand, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return operand{}, fmt.Errorf("empty operand")
+	}
+	if v, err := strconv.ParseFloat(s, 64); err == nil {
+		return operand{value: v}, nil
+	}
+	for _, op := range compOps {
+		if strings.Contains(s, op) {
+			return operand{}, fmt.Errorf("operand %q contains an operator; one comparison per clause", s)
+		}
+	}
+	return operand{name: s, isParam: true}, nil
+}
+
+// compile resolves the comparison's parameter references against the space
+// and returns the clause as a predicate over decoded configurations.
+func (c comparison) compile(space *param.Space) (param.Predicate, error) {
+	lhs, err := c.lhs.compile(space)
+	if err != nil {
+		return nil, err
+	}
+	rhs, err := c.rhs.compile(space)
+	if err != nil {
+		return nil, err
+	}
+	switch c.op {
+	case "<":
+		return func(cfg param.Config) bool { return lhs(cfg) < rhs(cfg) }, nil
+	case "<=":
+		return func(cfg param.Config) bool { return lhs(cfg) <= rhs(cfg) }, nil
+	case ">":
+		return func(cfg param.Config) bool { return lhs(cfg) > rhs(cfg) }, nil
+	case ">=":
+		return func(cfg param.Config) bool { return lhs(cfg) >= rhs(cfg) }, nil
+	case "==":
+		return func(cfg param.Config) bool { return lhs(cfg) == rhs(cfg) }, nil
+	case "!=":
+		return func(cfg param.Config) bool { return lhs(cfg) != rhs(cfg) }, nil
+	default:
+		return nil, fmt.Errorf("unknown operator %q", c.op)
+	}
+}
+
+func (o operand) compile(space *param.Space) (func(param.Config) float64, error) {
+	if !o.isParam {
+		v := o.value
+		return func(param.Config) float64 { return v }, nil
+	}
+	i := space.IndexOfName(o.name)
+	if i < 0 {
+		return nil, fmt.Errorf("constraint references unknown parameter %q", o.name)
+	}
+	return func(cfg param.Config) float64 { return cfg[i] }, nil
+}
+
+// CompileConstraint compiles one clause against a space: the predicate
+// holds when Then is satisfied or the If guard (when present) is not.
+func CompileConstraint(c Constraint, space *param.Space) (param.Predicate, error) {
+	if strings.TrimSpace(c.Then) == "" {
+		return nil, fmt.Errorf(`constraint with empty "then" clause`)
+	}
+	thenCmp, err := parseComparison(c.Then)
+	if err != nil {
+		return nil, err
+	}
+	then, err := thenCmp.compile(space)
+	if err != nil {
+		return nil, err
+	}
+	if strings.TrimSpace(c.If) == "" {
+		return then, nil
+	}
+	ifCmp, err := parseComparison(c.If)
+	if err != nil {
+		return nil, err
+	}
+	guard, err := ifCmp.compile(space)
+	if err != nil {
+		return nil, err
+	}
+	return func(cfg param.Config) bool { return !guard(cfg) || then(cfg) }, nil
+}
+
+// CompileConstraints compiles a clause list into one conjunction: a
+// configuration is feasible when every clause holds. The result is what a
+// Spec installs as the space's feasibility predicate.
+func CompileConstraints(cs []Constraint, space *param.Space) (param.Predicate, error) {
+	preds := make([]param.Predicate, len(cs))
+	for i, c := range cs {
+		p, err := CompileConstraint(c, space)
+		if err != nil {
+			return nil, fmt.Errorf("constraint %d: %w", i, err)
+		}
+		preds[i] = p
+	}
+	return func(cfg param.Config) bool {
+		for _, p := range preds {
+			if !p(cfg) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}

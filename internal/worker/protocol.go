@@ -57,10 +57,46 @@ type Health struct {
 	UptimeS float64 `json:"uptime_s"`
 }
 
-// ProblemInfo is one entry of the GET /problems listing.
+// ProblemInfo is one entry of the GET /problems listing, and the success
+// body of POST /problems (runtime spec registration — the request body is
+// the spec document itself, see docs/SCENARIOS.md).
 type ProblemInfo struct {
-	Name       string   `json:"name"`
-	SpaceSize  int64    `json:"space_size"`
-	Parameters []string `json:"parameters"`
-	Objectives int      `json:"objectives"`
+	Name      string `json:"name"`
+	SpaceSize int64  `json:"space_size"`
+	// Parameters describes each dimension in space order.
+	Parameters []ParamInfo `json:"parameters"`
+	// Constrained reports whether the space carries a validity constraint,
+	// i.e. whether some index combinations are infeasible and SpaceSize
+	// overcounts the feasible set.
+	Constrained bool `json:"constrained,omitempty"`
+	Objectives  int  `json:"objectives"`
+}
+
+// ParamInfo is the advertised shape of one parameter: enough for a client
+// to render the space or construct valid configurations without loading
+// the problem's spec.
+type ParamInfo struct {
+	Name string `json:"name"`
+	// Kind is the param.Kind name: "bool", "ordinal", "real", or
+	// "categorical".
+	Kind string `json:"kind"`
+	// Values lists the admissible values in level order; never null.
+	Values []float64 `json:"values"`
+	// LogScale marks parameters the engine encodes as log10.
+	LogScale bool `json:"log_scale,omitempty"`
+}
+
+// ParamInfos describes a space's parameters for the wire.
+func ParamInfos(space *param.Space) []ParamInfo {
+	params := space.Params()
+	out := make([]ParamInfo, len(params))
+	for i, p := range params {
+		out[i] = ParamInfo{
+			Name:     p.Name,
+			Kind:     p.Kind.String(),
+			Values:   append([]float64{}, p.Values...),
+			LogScale: p.LogScale,
+		}
+	}
+	return out
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"slices"
 	"strings"
@@ -43,6 +44,11 @@ type Server struct {
 	mu       sync.Mutex
 	problems map[string]Problem
 
+	// specLoader, when set, materializes a problem from raw spec JSON and
+	// enables POST /problems. The daemon wires this to the catalog's spec
+	// loader; the seam keeps this package free of a catalog dependency.
+	specLoader func(data []byte) (Problem, error)
+
 	evalWorkers int
 	started     time.Time
 	evals       atomic.Int64
@@ -61,6 +67,15 @@ func NewServer(evalWorkers int) *Server {
 		evalWorkers: evalWorkers,
 		started:     time.Now(),
 	}
+}
+
+// SetSpecLoader enables POST /problems: fn turns a raw problem-spec
+// document into a registrable Problem. With no loader the endpoint answers
+// 501 Not Implemented.
+func (s *Server) SetSpecLoader(fn func(data []byte) (Problem, error)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.specLoader = fn
 }
 
 // Register adds or replaces a problem by name.
@@ -112,19 +127,60 @@ func (s *Server) Handler() http.Handler {
 		probs := s.Problems()
 		out := make([]ProblemInfo, 0, len(probs))
 		for _, p := range probs {
-			out = append(out, ProblemInfo{
-				Name:       p.Name,
-				SpaceSize:  p.Space.Size(),
-				Parameters: p.Space.Names(),
-				Objectives: p.Objectives,
-			})
+			out = append(out, problemInfo(p))
 		}
 		writeJSON(w, http.StatusOK, out)
 	})
 
+	mux.HandleFunc("POST /problems", s.handleRegisterSpec)
+
 	mux.HandleFunc("POST /evaluate", s.handleEvaluate)
 
 	return mux
+}
+
+func problemInfo(p Problem) ProblemInfo {
+	return ProblemInfo{
+		Name:        p.Name,
+		SpaceSize:   p.Space.Size(),
+		Parameters:  ParamInfos(p.Space),
+		Constrained: p.Space.Constrained(),
+		Objectives:  p.Objectives,
+	}
+}
+
+// maxSpecBody caps a POST /problems body; a spec is human-written JSON,
+// kilobytes at most.
+const maxSpecBody = 1 << 20
+
+// handleRegisterSpec registers a spec-defined problem at runtime: the body
+// is the spec document, the materialized problem replaces any existing
+// problem of the same name, and the reply mirrors a GET /problems entry.
+func (s *Server) handleRegisterSpec(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	loader := s.specLoader
+	s.mu.Unlock()
+	if loader == nil {
+		writeError(w, http.StatusNotImplemented,
+			errors.New("this worker was started without spec support"))
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, maxSpecBody)
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("reading spec: %w", err))
+		return
+	}
+	p, err := loader(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.Register(p); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, problemInfo(p))
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
