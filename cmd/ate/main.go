@@ -14,9 +14,11 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
+	"repro/internal/journal"
 	"repro/internal/kfusion"
 	"repro/internal/slambench"
 	"repro/internal/traj"
@@ -108,13 +110,10 @@ func runDemo(dir string) {
 }
 
 func writeTraj(path string, t traj.Trajectory) {
-	f, err := os.Create(path)
+	err := journal.WriteFileAtomic(path, func(f io.Writer) error {
+		return traj.Write(f, t)
+	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "ate: %v\n", err)
-		os.Exit(1)
-	}
-	defer f.Close()
-	if err := traj.Write(f, t); err != nil {
 		fmt.Fprintf(os.Stderr, "ate: %v\n", err)
 		os.Exit(1)
 	}

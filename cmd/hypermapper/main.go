@@ -13,6 +13,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -22,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/forest"
+	"repro/internal/journal"
 	"repro/internal/pareto"
 	"repro/internal/plot"
 	"repro/internal/slambench"
@@ -167,28 +169,27 @@ func writeCSV(dir string, bench slambench.Benchmark, res *core.Result) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(dir, bench.Name()+"_samples.csv"))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	names := strings.Join(bench.Space().Names(), ",")
-	fmt.Fprintf(f, "index,phase,%s,objectives...\n", names)
-	for _, s := range res.Samples {
-		phase := "random"
-		if s.ActiveLearning {
-			phase = "al"
+	return journal.WriteFileAtomic(filepath.Join(dir, bench.Name()+"_samples.csv"), func(f io.Writer) error {
+		names := strings.Join(bench.Space().Names(), ",")
+		fmt.Fprintf(f, "index,phase,%s,objectives...\n", names)
+		for _, s := range res.Samples {
+			phase := "random"
+			if s.ActiveLearning {
+				phase = "al"
+			}
+			vals := make([]string, 0, len(s.Config)+len(s.Objs))
+			for _, v := range s.Config {
+				vals = append(vals, fmt.Sprintf("%g", v))
+			}
+			for _, v := range s.Objs {
+				vals = append(vals, fmt.Sprintf("%g", v))
+			}
+			if _, err := fmt.Fprintf(f, "%d,%s,%s\n", s.Index, phase, strings.Join(vals, ",")); err != nil {
+				return err
+			}
 		}
-		vals := make([]string, 0, len(s.Config)+len(s.Objs))
-		for _, v := range s.Config {
-			vals = append(vals, fmt.Sprintf("%g", v))
-		}
-		for _, v := range s.Objs {
-			vals = append(vals, fmt.Sprintf("%g", v))
-		}
-		fmt.Fprintf(f, "%d,%s,%s\n", s.Index, phase, strings.Join(vals, ","))
-	}
-	return nil
+		return nil
+	})
 }
 
 func fatalf(format string, args ...any) {

@@ -29,6 +29,16 @@
 //	hypermapperd -problems specs
 //	hypermapperd -validate -problems specs
 //	curl -s -X POST localhost:8089/problems --data-binary @specs/dbms_knobs.json
+//
+// With -data-dir the daemon is durable: every run keeps an fsync'd
+// evaluation journal, finished runs persist their status and front, the
+// evaluation memo-cache spills to disk, and sessions survive restarts.
+// Adding -resume replays interrupted runs' journals on startup and
+// continues them from the first unmeasured configuration (seeded runs
+// finish byte-identical to an uninterrupted run). GET /healthz reports
+// liveness, GET /readyz readiness (503 while journal recovery runs):
+//
+//	hypermapperd -addr :8089 -data-dir /var/lib/hypermapper -resume
 package main
 
 import (
@@ -44,6 +54,8 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/core"
+	"repro/internal/param"
 	"repro/internal/server"
 	"repro/internal/worker"
 )
@@ -74,6 +86,13 @@ func main() {
 			"directory of declarative problem specs (*.json, docs/SCENARIOS.md) to load at startup")
 		validate = flag.Bool("validate", false,
 			"build the problem catalog (builtins plus -problems specs), print it, and exit without serving")
+
+		dataDir = flag.String("data-dir", "",
+			"durable state directory: per-run evaluation journals, persisted results, and memo-cache spill live here and survive restarts (empty = in-memory only)")
+		resume = flag.Bool("resume", false,
+			"with -data-dir, replay interrupted runs' journals on startup and continue them; without it they are restored as failed (their journals stay on disk)")
+		evalDelay = flag.Duration("eval-delay", 0,
+			"artificial per-evaluation delay added to every in-process evaluator — a fault-injection aid that widens the window for kill/restart testing")
 	)
 	flag.Parse()
 
@@ -101,6 +120,8 @@ func main() {
 		SessionTTL:  *sessionTTL,
 		MaxSessions: *maxSessions,
 		Shards:      *shards,
+		DataDir:     *dataDir,
+		Resume:      *resume,
 		SpecLoader: func(data []byte) (server.Problem, error) {
 			p, err := catalog.FromSpecData(data)
 			if err != nil {
@@ -108,6 +129,14 @@ func main() {
 			}
 			return toServerProblem(p), nil
 		},
+	}
+	if *dataDir != "" {
+		cfg.Logf = func(format string, args ...any) {
+			fmt.Printf("hypermapperd: "+format+"\n", args...)
+		}
+	}
+	if *resume && *dataDir == "" {
+		fatalf("-resume requires -data-dir")
 	}
 	if *workers != "" {
 		urls := strings.Split(*workers, ",")
@@ -122,7 +151,13 @@ func main() {
 		cfg.EvalPool = pool
 	}
 
-	mgr := server.NewManagerConfig(cfg, buildProblems(reg)...)
+	problems := buildProblems(reg)
+	if *evalDelay > 0 {
+		for i := range problems {
+			problems[i].Eval = delayEval{inner: problems[i].Eval, d: *evalDelay}
+		}
+	}
+	mgr := server.NewManagerConfig(cfg, problems...)
 
 	srv := &http.Server{Addr: *addr, Handler: mgr.Handler()}
 	errc := make(chan error, 1)
@@ -130,6 +165,9 @@ func main() {
 	mode := "in-process evaluation"
 	if cfg.EvalPool != nil {
 		mode = fmt.Sprintf("%d evaluation workers", cfg.EvalPool.Size())
+	}
+	if *dataDir != "" {
+		mode += ", durable state in " + *dataDir
 	}
 	fmt.Printf("hypermapperd: listening on %s (%d problems, %s)\n", *addr, len(mgr.Problems()), mode)
 
@@ -176,6 +214,20 @@ func toServerProblem(p catalog.Problem) server.Problem {
 		Eval:        p.Eval,
 		Objectives:  p.Objectives,
 	}
+}
+
+// delayEval adds a fixed sleep before every evaluation (-eval-delay): the
+// builtin lookup problems answer in microseconds, far too fast for a
+// kill/restart harness to land a signal mid-run.
+type delayEval struct {
+	inner core.Evaluator
+	d     time.Duration
+}
+
+// Evaluate implements core.Evaluator.
+func (e delayEval) Evaluate(cfg param.Config) []float64 {
+	time.Sleep(e.d)
+	return e.inner.Evaluate(cfg)
 }
 
 func fatalf(format string, args ...any) {

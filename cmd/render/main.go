@@ -9,10 +9,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"repro/internal/imgproc"
+	"repro/internal/journal"
 	"repro/internal/sensor"
 )
 
@@ -63,27 +65,25 @@ func main() {
 }
 
 // writePGM encodes a float map as an 8-bit binary PGM, scaling [0, max] to
-// [0, 255]. Invalid (zero) pixels render black.
+// [0, 255]. Invalid (zero) pixels render black. The write is atomic, so an
+// interrupted render never leaves a truncated frame for tooling to choke on.
 func writePGM(path string, m *imgproc.Map, max float32) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if _, err := fmt.Fprintf(f, "P5\n%d %d\n255\n", m.W, m.H); err != nil {
-		return err
-	}
-	buf := make([]byte, len(m.Pix))
-	for i, v := range m.Pix {
-		if v <= 0 {
-			continue
+	return journal.WriteFileAtomic(path, func(f io.Writer) error {
+		if _, err := fmt.Fprintf(f, "P5\n%d %d\n255\n", m.W, m.H); err != nil {
+			return err
 		}
-		s := v / max * 255
-		if s > 255 {
-			s = 255
+		buf := make([]byte, len(m.Pix))
+		for i, v := range m.Pix {
+			if v <= 0 {
+				continue
+			}
+			s := v / max * 255
+			if s > 255 {
+				s = 255
+			}
+			buf[i] = byte(s)
 		}
-		buf[i] = byte(s)
-	}
-	_, err = f.Write(buf)
-	return err
+		_, err := f.Write(buf)
+		return err
+	})
 }

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/journal"
 	"repro/internal/param"
 )
 
@@ -29,6 +30,12 @@ type EvalCache struct {
 	spaces map[string]*spaceCache
 	hits   atomic.Int64
 	misses atomic.Int64
+
+	// dir, when non-empty, spills memoized entries to one JSON-lines file
+	// per space namespace and pre-loads them on first use; see
+	// NewEvalCacheDir. spillErrors counts degraded-to-memory failures.
+	dir         string
+	spillErrors atomic.Int64
 }
 
 // spaceCache is one space's namespace: memoized objectives plus the
@@ -36,6 +43,7 @@ type EvalCache struct {
 type spaceCache struct {
 	objs     map[int64][]float64
 	inflight map[int64]chan struct{}
+	spill    *journal.AppendFile // nil when memory-only (or degraded)
 }
 
 // NewEvalCache returns an empty cache.
@@ -55,6 +63,29 @@ func spaceFingerprint(space *param.Space, objectives int) string {
 	return b.String()
 }
 
+// SpaceFingerprint exposes the cache's space identity key: callers that
+// persist index-keyed measurements (the disk spill, the evaluation
+// journal) use it to guarantee a stored index is only ever decoded against
+// the space it was measured in.
+func SpaceFingerprint(space *param.Space, objectives int) string {
+	return spaceFingerprint(space, objectives)
+}
+
+// RunFingerprint identifies a run's deterministic identity: the space
+// grid and objective count plus the seed and every budget that shapes the
+// sample sequence. Two runs with equal fingerprints draw identical
+// bootstraps, pools, and forests, which is what makes journal replay
+// byte-identical — and why resume refuses a journal whose fingerprint
+// differs from the relaunched run's.
+func RunFingerprint(space *param.Space, opts Options) string {
+	o := opts.withDefaults()
+	return fmt.Sprintf("%s;seed=%d;rs=%d;iters=%d;batch=%d;pool=%d;trees=%d;depth=%d;leaf=%d;mtry=%d;ratio=%g",
+		spaceFingerprint(space, o.Objectives), o.Seed, o.RandomSamples,
+		o.MaxIterations, o.MaxBatch, o.PoolCap,
+		o.Forest.Trees, o.Forest.MaxDepth, o.Forest.MinSamplesLeaf,
+		o.Forest.MaxFeatures, o.Forest.SampleRatio)
+}
+
 // evalCacheView is a cache handle bound to one space namespace; the engine
 // obtains one per run so every lookup and store lands in the right space.
 type evalCacheView struct {
@@ -72,6 +103,16 @@ func (c *EvalCache) view(fingerprint string) *evalCacheView {
 		s = &spaceCache{
 			objs:     make(map[int64][]float64),
 			inflight: make(map[int64]chan struct{}),
+		}
+		if c.dir != "" {
+			// Rehydrate the namespace from its spill file and keep the
+			// appender; on any failure the namespace degrades to
+			// memory-only rather than failing the run.
+			af, err := c.openSpill(fingerprint, s)
+			if err != nil {
+				c.spillErrors.Add(1)
+			}
+			s.spill = af
 		}
 		c.spaces[fingerprint] = s
 	}
@@ -159,12 +200,14 @@ func (v *evalCacheView) fetchBatch(ctx context.Context, idxs []int64, cfgs []par
 				// panics, so waiters elect a new leader instead of hanging;
 				// store whatever completed first.
 				defer func() {
+					var stored []spillRecord
 					v.c.mu.Lock()
 					for j, i := range lead {
 						idx := idxs[i]
 						if j < len(res) && res[j] != nil {
 							v.s.objs[idx] = append([]float64(nil), res[j]...)
 							objs[i] = append([]float64(nil), res[j]...)
+							stored = append(stored, spillRecord{Index: idx, Objs: objs[i]})
 						}
 						if ch, ok := v.s.inflight[idx]; ok {
 							delete(v.s.inflight, idx)
@@ -172,6 +215,9 @@ func (v *evalCacheView) fetchBatch(ctx context.Context, idxs []int64, cfgs []par
 						}
 					}
 					v.c.mu.Unlock()
+					// Persist outside the cache lock: the appender has its
+					// own mutex and fsyncs must not serialize other runs.
+					v.c.spill(v.s, stored)
 				}()
 				res, evalErr = backend.EvaluateBatch(ctx, batch)
 			}()

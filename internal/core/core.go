@@ -89,6 +89,23 @@ type Options struct {
 	// active-learning round. It is called from the run's goroutine;
 	// implementations should return quickly.
 	OnIteration func(IterationStats)
+	// Journal, when non-nil, durably records every measured batch as it
+	// completes inside the evaluation step — the hook the daemon's
+	// crash-safe evaluation journal plugs into. Only genuinely measured
+	// samples are recorded (replay-served ones are already journaled); a
+	// recording failure fails the run, because continuing would silently
+	// drop the durability the caller asked for. Measurements that
+	// completed before the failure are still returned.
+	Journal BatchRecorder
+	// Replay, when non-nil, serves previously measured objectives by
+	// design-space index before the cache and backend are consulted — the
+	// resume half of the journal: replaying a crashed run's journal through
+	// a run with identical space, seed, and budgets reconstructs its exact
+	// exploration state (same RNG draws, same forest fits, same pools)
+	// without re-measuring anything, and continues live at the first
+	// unjournaled configuration. Entries are objective vectors of length
+	// Objectives; the map is only read.
+	Replay map[int64][]float64
 
 	// cache is the run's space-bound view of Cache, set by RunContext.
 	cache *evalCacheView
@@ -130,6 +147,16 @@ func (o Options) logf(format string, args ...any) {
 	if o.Logf != nil {
 		o.Logf(format, args...)
 	}
+}
+
+// BatchRecorder receives each measured evaluation batch as it completes —
+// see Options.Journal. Implementations must be safe for concurrent use
+// with whatever else writes the same journal (e.g. a shutdown checkpoint).
+type BatchRecorder interface {
+	// RecordBatch records the genuinely measured samples of one batch
+	// (bootstrap or active-learning round). samples is never empty; each
+	// entry's Iteration and ActiveLearning fields are already set.
+	RecordBatch(samples []Sample) error
 }
 
 // Sample is one evaluated configuration.
@@ -308,12 +335,11 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 	bootstrap := space.SampleIndices(rng, n)
 	o.logf("random sampling: evaluating %d configurations", len(bootstrap))
 	evalStart := time.Now()
-	batch, hits, misses, err := evaluateBatch(ctx, space, bootstrap, o)
+	batch, hits, misses, err := evaluateBatch(ctx, space, bootstrap, o, 0, false)
 	evalTime := time.Since(evalStart)
 	res.CacheHits += hits
 	res.CacheMisses += misses
 	for _, s := range batch {
-		s.Iteration = 0
 		if err := addSample(s); err != nil {
 			return nil, err
 		}
@@ -421,13 +447,11 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 		}
 
 		evalStart := time.Now()
-		newSamples, hits, misses, err := evaluateBatch(ctx, space, todo, o)
+		newSamples, hits, misses, err := evaluateBatch(ctx, space, todo, o, iter, true)
 		evalTime := time.Since(evalStart)
 		res.CacheHits += hits
 		res.CacheMisses += misses
 		for _, s := range newSamples {
-			s.ActiveLearning = true
-			s.Iteration = iter
 			if err := addSample(s); err != nil {
 				return nil, err
 			}
@@ -506,14 +530,19 @@ func (o Options) onIteration(stats IterationStats) {
 
 // evaluateBatch measures the given configuration indices through the run's
 // Backend, returning samples in the order of idxs plus the memo-cache
-// hit/miss counts for the batch. With a cache the batch is resolved via
+// hit/miss counts for the batch. Indices present in Options.Replay are
+// served from the journal replay and never reach the cache or backend;
+// the rest resolve as before: with a cache the batch goes through
 // fetchBatch (cached indices served, the miss set evaluated in one backend
-// call, in-flight indices of concurrent runs waited on); without one the
-// whole batch goes to the backend directly. On cancellation or backend
-// failure only the evaluations that did complete are returned, together
-// with the error (measurements are expensive — an interrupted batch must
-// not throw finished ones away).
-func evaluateBatch(ctx context.Context, space *param.Space, idxs []int64, o Options) ([]Sample, int, int, error) {
+// call, in-flight indices of concurrent runs waited on), without one the
+// whole batch goes to the backend directly. Genuinely measured samples —
+// and only those — are recorded to Options.Journal before returning, so a
+// resumed run never re-journals what it replayed. On cancellation or
+// backend failure only the evaluations that did complete are returned,
+// together with the error (measurements are expensive — an interrupted
+// batch must not throw finished ones away); completed measurements are
+// still journaled on the way out.
+func evaluateBatch(ctx context.Context, space *param.Space, idxs []int64, o Options, iter int, active bool) ([]Sample, int, int, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, 0, 0, err
 	}
@@ -521,25 +550,55 @@ func evaluateBatch(ctx context.Context, space *param.Space, idxs []int64, o Opti
 	for i, idx := range idxs {
 		cfgs[i] = space.AtIndex(idx)
 	}
-	var objs [][]float64
+	objs := make([][]float64, len(idxs))
+	live := make([]int, 0, len(idxs)) // positions not served by replay
+	for i, idx := range idxs {
+		if rec, ok := o.Replay[idx]; ok {
+			objs[i] = append([]float64(nil), rec...)
+			continue
+		}
+		live = append(live, i)
+	}
 	var hits, misses int
 	var err error
-	if o.cache != nil {
-		objs, hits, misses, err = o.cache.fetchBatch(ctx, idxs, cfgs, o.Backend)
-	} else {
-		objs, err = o.Backend.EvaluateBatch(ctx, cfgs)
-	}
-	if len(objs) > len(idxs) {
-		// A contract violation must fail like the under-length case below,
-		// not index past idxs.
-		return nil, hits, misses, fmt.Errorf("core: backend returned %d results for a %d-configuration batch", len(objs), len(idxs))
+	if len(live) > 0 {
+		liveIdxs := make([]int64, len(live))
+		liveCfgs := make([]param.Config, len(live))
+		for j, i := range live {
+			liveIdxs[j] = idxs[i]
+			liveCfgs[j] = cfgs[i]
+		}
+		var liveObjs [][]float64
+		if o.cache != nil {
+			liveObjs, hits, misses, err = o.cache.fetchBatch(ctx, liveIdxs, liveCfgs, o.Backend)
+		} else {
+			liveObjs, err = o.Backend.EvaluateBatch(ctx, liveCfgs)
+		}
+		if len(liveObjs) > len(liveIdxs) {
+			// A contract violation must fail like the under-length case
+			// below, not index past idxs.
+			return nil, hits, misses, fmt.Errorf("core: backend returned %d results for a %d-configuration batch", len(liveObjs), len(liveIdxs))
+		}
+		for j, ob := range liveObjs {
+			objs[live[j]] = ob
+		}
 	}
 	out := make([]Sample, 0, len(idxs))
+	var measured []Sample // the live completions, for the journal
 	for i, ob := range objs {
 		if ob == nil {
 			continue // not evaluated: cancelled or failed mid-batch
 		}
-		out = append(out, Sample{Index: idxs[i], Config: cfgs[i], Objs: ob})
+		s := Sample{Index: idxs[i], Config: cfgs[i], Objs: ob, Iteration: iter, ActiveLearning: active}
+		out = append(out, s)
+		if _, replayed := o.Replay[s.Index]; !replayed {
+			measured = append(measured, s)
+		}
+	}
+	if o.Journal != nil && len(measured) > 0 {
+		if jerr := o.Journal.RecordBatch(measured); jerr != nil {
+			return out, hits, misses, fmt.Errorf("core: journaling evaluation batch: %w", jerr)
+		}
 	}
 	if err == nil && len(out) < len(idxs) {
 		err = fmt.Errorf("core: backend returned %d results for a %d-configuration batch", len(out), len(idxs))

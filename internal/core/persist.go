@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 
+	"repro/internal/journal"
 	"repro/internal/param"
 	"repro/internal/pareto"
 )
@@ -82,20 +83,14 @@ func (sf *StoredFront) Write(w io.Writer) error {
 	return enc.Encode(sf)
 }
 
-// SaveFront writes the front to a file. The close error is returned, not
-// swallowed: on many filesystems a short or failed write only surfaces at
-// Close, and the stored front is an artifact callers reload later — a
-// silently truncated file would report success here and fail at LoadFront.
+// SaveFront writes the front to a file atomically (temp file + rename): a
+// crash mid-write leaves the previous front or the new one, never a
+// half-written artifact — the stored front is what a device loads at
+// runtime to adapt, so a torn file is an outage, not an inconvenience.
 func SaveFront(path string, sf *StoredFront) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	if err := sf.Write(f); err != nil {
-		f.Close()
-		return err
-	}
-	return f.Close()
+	return journal.WriteFileAtomic(path, func(w io.Writer) error {
+		return sf.Write(w)
+	})
 }
 
 // ReadFront parses a stored front and validates it against the design

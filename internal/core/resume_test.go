@@ -1,0 +1,231 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/param"
+)
+
+var errTest = errors.New("journal write failed")
+
+// memRecorder is an in-memory BatchRecorder capturing what the engine
+// would journal.
+type memRecorder struct {
+	mu      sync.Mutex
+	batches [][]Sample
+	fail    error // when non-nil, RecordBatch returns it
+}
+
+func (r *memRecorder) RecordBatch(samples []Sample) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.fail != nil {
+		return r.fail
+	}
+	cp := make([]Sample, len(samples))
+	copy(cp, samples)
+	r.batches = append(r.batches, cp)
+	return nil
+}
+
+func (r *memRecorder) samples() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Sample
+	for _, b := range r.batches {
+		out = append(out, b...)
+	}
+	return out
+}
+
+func resumeSpace(t *testing.T) *param.Space {
+	t.Helper()
+	space, err := param.NewSpace(
+		param.Grid("x", 0, 3, 25),
+		param.Grid("y", 0, 3, 25),
+		param.Levels("z", 1, 2, 4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return space
+}
+
+func resumeEval() Evaluator {
+	return EvaluatorFunc(func(cfg param.Config) []float64 {
+		return []float64{
+			cfg[0] + 0.3*math.Sin(4*cfg[1]) + 0.1*cfg[2],
+			cfg[1] + 0.3*math.Cos(3*cfg[0]),
+		}
+	})
+}
+
+func resumeOpts(rec *memRecorder) Options {
+	return Options{
+		Objectives:    2,
+		RandomSamples: 30,
+		MaxIterations: 3,
+		MaxBatch:      15,
+		PoolCap:       400, // below the space size, so pool draws consume the rng
+		Seed:          7,
+		Workers:       2,
+		Journal:       rec,
+	}
+}
+
+func sampleKeys(samples []Sample) []int64 {
+	out := make([]int64, len(samples))
+	for i, s := range samples {
+		out[i] = s.Index
+	}
+	return out
+}
+
+// A run resumed from a replay of any journaled prefix must be
+// byte-identical to the uninterrupted run — same sample order, same
+// objectives, same front — and must journal exactly the suffix it
+// actually measured.
+func TestResumeReplayByteIdentical(t *testing.T) {
+	space := resumeSpace(t)
+	ref := &memRecorder{}
+	refRes, err := Run(space, resumeEval(), resumeOpts(ref))
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	if len(ref.batches) < 2 {
+		t.Fatalf("reference journaled %d batches; test needs ≥ 2", len(ref.batches))
+	}
+	refSamples := ref.samples()
+	if !reflect.DeepEqual(sampleKeys(refSamples), sampleKeys(refRes.Samples)) {
+		t.Fatal("journal order differs from result sample order")
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 4; trial++ {
+		// Cut the journal at a random evaluation count — including
+		// mid-batch, which models a partially journaled batch (the
+		// cancellation path journals completed samples of an interrupted
+		// batch).
+		cut := 1 + rng.Intn(len(refSamples)-1)
+		replay := make(map[int64][]float64, cut)
+		for _, s := range refSamples[:cut] {
+			replay[s.Index] = s.Objs
+		}
+		rec := &memRecorder{}
+		opts := resumeOpts(rec)
+		opts.Replay = replay
+		res, err := Run(space, resumeEval(), opts)
+		if err != nil {
+			t.Fatalf("cut=%d: resumed run: %v", cut, err)
+		}
+		if !reflect.DeepEqual(sampleKeys(res.Samples), sampleKeys(refRes.Samples)) {
+			t.Fatalf("cut=%d: resumed sample order differs from reference", cut)
+		}
+		for i, s := range res.Samples {
+			if !reflect.DeepEqual(s.Objs, refRes.Samples[i].Objs) {
+				t.Fatalf("cut=%d: sample %d objectives differ: %v vs %v",
+					cut, i, s.Objs, refRes.Samples[i].Objs)
+			}
+		}
+		if !reflect.DeepEqual(res.Front, refRes.Front) {
+			t.Fatalf("cut=%d: resumed front differs from reference", cut)
+		}
+		if res.Converged != refRes.Converged {
+			t.Fatalf("cut=%d: converged = %v, want %v", cut, res.Converged, refRes.Converged)
+		}
+		// The resumed run must have journaled exactly the measurements the
+		// reference made after the cut: replayed ones are never re-recorded.
+		wantSuffix := sampleKeys(refSamples[cut:])
+		gotSuffix := sampleKeys(rec.samples())
+		if !reflect.DeepEqual(gotSuffix, wantSuffix) {
+			t.Fatalf("cut=%d: resumed run journaled %d samples, want the %d-sample suffix",
+				cut, len(gotSuffix), len(wantSuffix))
+		}
+	}
+}
+
+// A fully replayed journal reconstructs the run without a single backend
+// call.
+func TestResumeFullReplayNeverEvaluates(t *testing.T) {
+	space := resumeSpace(t)
+	ref := &memRecorder{}
+	refRes, err := Run(space, resumeEval(), resumeOpts(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	replay := make(map[int64][]float64)
+	for _, s := range ref.samples() {
+		replay[s.Index] = s.Objs
+	}
+	rec := &memRecorder{}
+	opts := resumeOpts(rec)
+	opts.Replay = replay
+	calls := 0
+	eval := EvaluatorFunc(func(cfg param.Config) []float64 {
+		calls++
+		return resumeEval().Evaluate(cfg)
+	})
+	res, err := Run(space, eval, opts)
+	if err != nil {
+		t.Fatalf("full replay: %v", err)
+	}
+	if calls != 0 {
+		t.Errorf("full replay called the evaluator %d times", calls)
+	}
+	if len(rec.batches) != 0 {
+		t.Errorf("full replay journaled %d batches, want 0", len(rec.batches))
+	}
+	if !reflect.DeepEqual(res.Front, refRes.Front) {
+		t.Error("fully replayed front differs from reference")
+	}
+}
+
+// Replay composes with the memo-cache: replayed indices bypass it (no
+// hits, no misses), live ones still memoize.
+func TestResumeWithCache(t *testing.T) {
+	space := resumeSpace(t)
+	ref := &memRecorder{}
+	refRes, err := Run(space, resumeEval(), resumeOpts(ref))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSamples := ref.samples()
+	cut := len(refSamples) / 2
+	replay := make(map[int64][]float64)
+	for _, s := range refSamples[:cut] {
+		replay[s.Index] = s.Objs
+	}
+	opts := resumeOpts(&memRecorder{})
+	opts.Replay = replay
+	opts.Cache = NewEvalCache()
+	res, err := Run(space, resumeEval(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Front, refRes.Front) {
+		t.Error("resumed-with-cache front differs from reference")
+	}
+	if res.CacheMisses != len(refSamples)-cut {
+		t.Errorf("cache misses = %d, want %d (live evaluations only)",
+			res.CacheMisses, len(refSamples)-cut)
+	}
+}
+
+// A journal write failure must fail the run rather than silently dropping
+// durability, while retaining the measurements of the failed batch.
+func TestJournalFailureFailsRun(t *testing.T) {
+	space := resumeSpace(t)
+	rec := &memRecorder{fail: errTest}
+	res, err := Run(space, resumeEval(), resumeOpts(rec))
+	if err == nil {
+		t.Fatal("run with failing journal succeeded")
+	}
+	if res == nil || len(res.Samples) == 0 {
+		t.Error("measurements of the failed batch were discarded")
+	}
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/journal"
+)
+
+// NewEvalCacheDir returns a cache that spills every memoized measurement
+// to a JSON-lines file per space namespace under dir (created on demand),
+// and that pre-loads each namespace from its file on first use — so
+// daemon restarts, re-runs, and replicas pointed at shared storage all
+// reuse measured objectives instead of re-paying for them.
+//
+// Each namespace file is named by a hash of the space fingerprint and
+// begins with a header line carrying the full fingerprint; a file whose
+// header does not match is left untouched and the namespace runs
+// memory-only (never serve one space's objectives to another). Spill I/O
+// degrades, it never breaks a run: a load failure starts the namespace
+// empty, an append failure disables further spilling for that namespace,
+// and both are counted in SpillErrors.
+//
+// The usual EvalCache caveat applies with more force once entries
+// persist: the evaluator cannot be fingerprinted, so a directory must
+// be dedicated to one (space, evaluator) pair — the daemon keys spill
+// directories by problem name and deletes them when a problem is
+// re-registered with a new evaluator.
+func NewEvalCacheDir(dir string) *EvalCache {
+	c := NewEvalCache()
+	c.dir = dir
+	return c
+}
+
+// spillHeader is the first line of a namespace spill file.
+type spillHeader struct {
+	Fingerprint string `json:"fingerprint"`
+}
+
+// spillRecord is one memoized measurement.
+type spillRecord struct {
+	Index int64     `json:"i"`
+	Objs  []float64 `json:"o"`
+}
+
+// spillPath maps a space fingerprint to its namespace file.
+func spillPath(dir, fingerprint string) string {
+	sum := sha256.Sum256([]byte(fingerprint))
+	return filepath.Join(dir, fmt.Sprintf("%x.jsonl", sum[:8]))
+}
+
+// openSpill loads the namespace's persisted measurements into s.objs and
+// returns the appender for new ones. Called under c.mu, once per
+// namespace; any failure is reported through the returned error and the
+// namespace runs memory-only.
+func (c *EvalCache) openSpill(fingerprint string, s *spaceCache) (*journal.AppendFile, error) {
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return nil, err
+	}
+	path := spillPath(c.dir, fingerprint)
+	first := true
+	foreign := false
+	_, _, err := journal.ReadLines(path, func(line []byte) error {
+		if first {
+			first = false
+			var h spillHeader
+			if json.Unmarshal(line, &h) != nil || h.Fingerprint != fingerprint {
+				foreign = true
+			}
+			return nil
+		}
+		if foreign {
+			return nil
+		}
+		var r spillRecord
+		if json.Unmarshal(line, &r) != nil {
+			return nil // schema drift: skip the record, keep the rest
+		}
+		s.objs[r.Index] = r.Objs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if foreign {
+		return nil, fmt.Errorf("core: spill file %s belongs to a different space", path)
+	}
+	af, err := journal.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	if first {
+		// Fresh file: stamp the namespace identity before any record.
+		if err := af.Append(spillHeader{Fingerprint: fingerprint}); err != nil {
+			af.Close()
+			return nil, err
+		}
+	}
+	return af, nil
+}
+
+// spill durably appends newly memoized entries to the namespace file.
+// Called outside c.mu (the appender has its own lock, and fsyncs must not
+// serialize unrelated runs); a failure disables the namespace's spill so
+// one sick disk degrades to memory-only caching instead of failing every
+// future batch.
+func (c *EvalCache) spill(s *spaceCache, recs []spillRecord) {
+	if len(recs) == 0 {
+		return
+	}
+	c.mu.Lock()
+	af := s.spill
+	c.mu.Unlock()
+	if af == nil {
+		return
+	}
+	vs := make([]any, len(recs))
+	for i := range recs {
+		vs[i] = &recs[i]
+	}
+	if err := af.AppendAll(vs...); err != nil {
+		c.spillErrors.Add(1)
+		c.mu.Lock()
+		if s.spill == af {
+			s.spill = nil
+		}
+		c.mu.Unlock()
+		af.Close()
+	}
+}
+
+// SpillErrors counts spill I/O failures since the cache was created (0 on
+// a healthy disk, and always 0 for a memory-only cache).
+func (c *EvalCache) SpillErrors() int64 { return c.spillErrors.Load() }
+
+// Close releases every namespace's spill file. The cache remains usable
+// memory-only afterwards.
+func (c *EvalCache) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var firstErr error
+	for _, s := range c.spaces {
+		if s.spill != nil {
+			if err := s.spill.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			s.spill = nil
+		}
+	}
+	return firstErr
+}
+
+// RemoveSpill deletes the cache's spill directory from disk — the reset
+// path when a problem is re-registered with a new evaluator and its
+// persisted measurements would corrupt future runs. The receiver may be
+// nil or memory-only; both are no-ops.
+func (c *EvalCache) RemoveSpill() error {
+	if c == nil || c.dir == "" {
+		return nil
+	}
+	c.Close()
+	return os.RemoveAll(c.dir)
+}

@@ -1,0 +1,176 @@
+package core
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/param"
+)
+
+func spillSpace(t *testing.T) *param.Space {
+	t.Helper()
+	space, err := param.NewSpace(
+		param.Grid("x", 0, 1, 8),
+		param.Levels("y", 1, 2, 3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return space
+}
+
+// A second cache over the same directory must serve every measurement the
+// first one made, without touching the evaluator.
+func TestEvalCacheSpillSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	space := spillSpace(t)
+	var calls atomic.Int64
+	eval := EvaluatorFunc(func(cfg param.Config) []float64 {
+		calls.Add(1)
+		return []float64{cfg[0] + cfg[1], cfg[0] - cfg[1]}
+	})
+	opts := Options{Objectives: 2, RandomSamples: 10, MaxIterations: 1, MaxBatch: 5, Seed: 3}
+
+	c1 := NewEvalCacheDir(dir)
+	opts.Cache = c1
+	res1, err := Run(space, eval, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := calls.Load()
+	if measured == 0 || res1.CacheMisses != int(measured) {
+		t.Fatalf("first run: %d evaluator calls, %d misses", measured, res1.CacheMisses)
+	}
+	if err := c1.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// "Restart": a fresh cache over the same directory.
+	c2 := NewEvalCacheDir(dir)
+	opts.Cache = c2
+	res2, err := Run(space, eval, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != measured {
+		t.Errorf("second run re-measured: %d calls, want %d", calls.Load(), measured)
+	}
+	if res2.CacheMisses != 0 {
+		t.Errorf("second run misses = %d, want 0", res2.CacheMisses)
+	}
+	if c2.SpillErrors() != 0 {
+		t.Errorf("spill errors = %d", c2.SpillErrors())
+	}
+	if len(res2.Front) != len(res1.Front) {
+		t.Errorf("fronts differ across restart: %d vs %d points", len(res2.Front), len(res1.Front))
+	}
+}
+
+// A torn trailing record in the spill file (crash mid-append) must not
+// poison the namespace: intact entries load, the torn one re-measures.
+func TestEvalCacheSpillTornTail(t *testing.T) {
+	dir := t.TempDir()
+	space := spillSpace(t)
+	eval := EvaluatorFunc(func(cfg param.Config) []float64 { return []float64{cfg[0], cfg[1]} })
+	opts := Options{Objectives: 2, RandomSamples: 8, MaxIterations: 1, MaxBatch: 4, Seed: 5}
+
+	c1 := NewEvalCacheDir(dir)
+	opts.Cache = c1
+	if _, err := Run(space, eval, opts); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+
+	files, err := filepath.Glob(filepath.Join(dir, "*.jsonl"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("spill files = %v (%v)", files, err)
+	}
+	f, err := os.OpenFile(files[0], os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"i":999,"o":[1.`)
+	f.Close()
+
+	c2 := NewEvalCacheDir(dir)
+	opts.Cache = c2
+	res, err := Run(space, eval, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheMisses != 0 {
+		t.Errorf("after torn tail, misses = %d, want 0 (intact entries must load)", res.CacheMisses)
+	}
+	c2.Close()
+}
+
+// A spill file from a different space must be refused, leaving the
+// namespace memory-only — never serve foreign objectives.
+func TestEvalCacheSpillForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	space := spillSpace(t)
+	fp := SpaceFingerprint(space, 2)
+	path := spillPath(dir, fp)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path,
+		[]byte(`{"fingerprint":"some-other-space"}`+"\n"+`{"i":0,"o":[1,2]}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewEvalCacheDir(dir)
+	eval := EvaluatorFunc(func(cfg param.Config) []float64 { return []float64{cfg[0], cfg[1]} })
+	opts := Options{Objectives: 2, RandomSamples: 6, MaxIterations: 1, MaxBatch: 3, Seed: 9, Cache: c}
+	res, err := Run(space, eval, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHits != 0 {
+		t.Errorf("foreign spill produced %d hits", res.CacheHits)
+	}
+	if c.SpillErrors() == 0 {
+		t.Error("foreign spill not counted as an error")
+	}
+	// The foreign file must be untouched.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data[:34]) != `{"fingerprint":"some-other-space"}` {
+		t.Error("foreign spill file was overwritten")
+	}
+	c.Close()
+}
+
+// RemoveSpill deletes the directory so a replaced evaluator cannot be
+// served stale measurements; nil and memory-only receivers are no-ops.
+func TestEvalCacheRemoveSpill(t *testing.T) {
+	base := t.TempDir()
+	dir := filepath.Join(base, "cache")
+	c := NewEvalCacheDir(dir)
+	space := spillSpace(t)
+	v := c.view(SpaceFingerprint(space, 1))
+	if _, _, err := v.fetch(context.Background(), 0, func() []float64 { return []float64{1} }); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("spill dir not created: %v", err)
+	}
+	if err := c.RemoveSpill(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Error("spill dir survived RemoveSpill")
+	}
+	var nilCache *EvalCache
+	if err := nilCache.RemoveSpill(); err != nil {
+		t.Errorf("nil RemoveSpill: %v", err)
+	}
+	if err := NewEvalCache().RemoveSpill(); err != nil {
+		t.Errorf("memory-only RemoveSpill: %v", err)
+	}
+}

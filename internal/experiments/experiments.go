@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/forest"
+	"repro/internal/journal"
 )
 
 // randFor returns a deterministic RNG for the given seed.
@@ -130,8 +131,8 @@ func (o Options) dseBudget(ef bool) core.Options {
 	return opts
 }
 
-// writeCSV writes rows to OutDir/name, creating the directory as needed.
-// It is a no-op when OutDir is empty.
+// writeCSV writes rows to OutDir/name atomically, creating the directory
+// as needed. It is a no-op when OutDir is empty.
 func (o Options) writeCSV(name string, header []string, rows [][]string) error {
 	if o.OutDir == "" {
 		return nil
@@ -139,20 +140,17 @@ func (o Options) writeCSV(name string, header []string, rows [][]string) error {
 	if err := os.MkdirAll(o.OutDir, 0o755); err != nil {
 		return err
 	}
-	f, err := os.Create(filepath.Join(o.OutDir, name))
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	w := csv.NewWriter(f)
-	if err := w.Write(header); err != nil {
-		return err
-	}
-	if err := w.WriteAll(rows); err != nil {
-		return err
-	}
-	w.Flush()
-	return w.Error()
+	return journal.WriteFileAtomic(filepath.Join(o.OutDir, name), func(out io.Writer) error {
+		w := csv.NewWriter(out)
+		if err := w.Write(header); err != nil {
+			return err
+		}
+		if err := w.WriteAll(rows); err != nil {
+			return err
+		}
+		w.Flush()
+		return w.Error()
+	})
 }
 
 func f2s(v float64) string { return fmt.Sprintf("%g", v) }

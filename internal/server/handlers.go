@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/worker"
@@ -98,6 +99,28 @@ func (m *Manager) Handler() http.Handler {
 		writeJSON(w, http.StatusOK, m.Stats())
 	})
 
+	// Liveness: the process is serving. Always 200 — a daemon mid-recovery
+	// is alive, and restarting it on a failed liveness probe would loop.
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":   "ok",
+			"uptime_s": time.Since(m.started).Seconds(),
+		})
+	})
+
+	// Readiness: 503 while resumed sessions are still replaying their
+	// journals, so load balancers hold traffic until recovery completes.
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if n := m.recovering.Load(); n > 0 {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"ready":      false,
+				"recovering": n,
+			})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+	})
+
 	mux.HandleFunc("POST /runs", func(w http.ResponseWriter, r *http.Request) {
 		// A RunRequest is a handful of scalars; cap the body so one client
 		// cannot buffer gigabytes into the shared daemon.
@@ -117,6 +140,8 @@ func (m *Manager) Handler() http.Handler {
 				code = http.StatusNotFound
 			case errors.Is(err, ErrShuttingDown):
 				code = http.StatusServiceUnavailable
+			case errors.Is(err, ErrStorage):
+				code = http.StatusInternalServerError
 			}
 			writeError(w, code, err)
 			return
@@ -145,8 +170,19 @@ func (m *Manager) Handler() http.Handler {
 			return
 		}
 		s.mu.Lock()
-		res, state := s.result, s.state
+		res, state, stored := s.result, s.state, s.stored
 		s.mu.Unlock()
+		if res == nil && stored != nil {
+			// Restored after a restart: the live result did not survive the
+			// process, but the persisted front did.
+			if stored.Front == nil {
+				writeError(w, http.StatusConflict,
+					fmt.Errorf("run is %s; no front was persisted", state))
+				return
+			}
+			writeJSON(w, http.StatusOK, stored.Front)
+			return
+		}
 		if res == nil {
 			writeError(w, http.StatusConflict,
 				fmt.Errorf("run is %s; front not available yet", state))

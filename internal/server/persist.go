@@ -1,0 +1,390 @@
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/journal"
+)
+
+// This file is the manager's durability layer. With Config.DataDir set,
+// every run owns a directory:
+//
+//	<data-dir>/runs/<id>/meta.json     run identity + originating request
+//	<data-dir>/runs/<id>/journal.jsonl fsync'd evaluation journal
+//	<data-dir>/runs/<id>/result.json   terminal status + front, once finished
+//	<data-dir>/cache/<problem>/        evaluator memo-cache spill files
+//
+// meta.json is written before the first evaluation, result.json after the
+// last; both atomically (temp file + rename). Between the two the journal
+// is the single source of truth: a directory with meta and journal but no
+// result is by definition an interrupted run, which -resume replays.
+// Resume works by relaunching the deterministic engine with the journaled
+// measurements pre-loaded (core.Options.Replay) — every random draw, pool,
+// and forest fit is recomputed identically, only the evaluator calls are
+// skipped, so a resumed run is byte-identical to an uninterrupted one.
+
+// runMeta is meta.json: enough to rebuild the session and its engine
+// options after a restart.
+type runMeta struct {
+	ID      string     `json:"id"`
+	Seq     int64      `json:"seq"`
+	Problem string     `json:"problem"`
+	Created time.Time  `json:"created"`
+	Request RunRequest `json:"request"`
+}
+
+// storedResult is result.json: everything a restarted daemon needs to keep
+// serving a finished run's status and front without the live result.
+type storedResult struct {
+	Status   RunStatus         `json:"status"`
+	Finished time.Time         `json:"finished"`
+	Front    *core.StoredFront `json:"front,omitempty"`
+}
+
+func (m *Manager) runDir(id string) string {
+	return filepath.Join(m.cfg.DataDir, "runs", id)
+}
+
+func (m *Manager) journalPath(id string) string {
+	return filepath.Join(m.runDir(id), "journal.jsonl")
+}
+
+// cacheDirName maps a problem name to a filesystem-safe directory name: a
+// readable prefix plus a hash so distinct names never collide after
+// sanitizing.
+func cacheDirName(problem string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		case r >= 'A' && r <= 'Z':
+			return r + ('a' - 'A')
+		default:
+			return '_'
+		}
+	}, problem)
+	if len(clean) > 24 {
+		clean = clean[:24]
+	}
+	sum := sha256.Sum256([]byte(problem))
+	return fmt.Sprintf("%s-%x", clean, sum[:4])
+}
+
+func (m *Manager) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+// persistStart creates the run directory, writes meta.json, and opens the
+// run's journal with its fingerprint header. On failure the directory is
+// removed so a rejected launch leaves no on-disk trace.
+func (m *Manager) persistStart(s *session, fingerprint string) error {
+	dir := m.runDir(s.id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	meta := runMeta{ID: s.id, Seq: s.seq, Problem: s.problem.Name, Created: s.created, Request: s.req}
+	if err := journal.WriteJSONAtomic(filepath.Join(dir, "meta.json"), meta); err != nil {
+		os.RemoveAll(dir)
+		return err
+	}
+	jw, err := journal.Create(m.journalPath(s.id), journal.Header{
+		RunID:       s.id,
+		Problem:     s.problem.Name,
+		Fingerprint: fingerprint,
+		Seed:        s.req.Seed,
+		Created:     s.created,
+	})
+	if err != nil {
+		os.RemoveAll(dir)
+		return err
+	}
+	s.jw = jw
+	return nil
+}
+
+// persistTerminal runs after a session's engine goroutine finishes: it
+// journals the terminal marker and writes result.json — unless the run was
+// stopped by daemon shutdown, in which case the journal keeps only its
+// shutdown checkpoint and the directory stays in the interrupted
+// (resumable) shape. A user DELETE is different: it persists as terminal,
+// so a restart cannot resurrect a run its owner ended.
+func (m *Manager) persistTerminal(s *session) {
+	if m.cfg.DataDir == "" || s.jw == nil {
+		return
+	}
+	defer s.closeJournal()
+	state, finished := s.terminalInfo()
+	if state == StateCancelled && m.isClosed() {
+		return // graceful shutdown: leave the run resumable
+	}
+	st := s.status()
+	_ = s.jw.Done(journal.Done{State: string(state), Error: st.Error})
+	res := storedResult{Status: st, Finished: finished}
+	s.mu.Lock()
+	r := s.result
+	s.mu.Unlock()
+	if r != nil {
+		res.Front = core.NewStoredFront(s.problem.Space, r, s.problem.Name, "", s.problem.Objectives)
+	}
+	if err := journal.WriteJSONAtomic(filepath.Join(m.runDir(s.id), "result.json"), &res); err != nil {
+		m.logf("run %s: persisting result: %v", s.id, err)
+	}
+}
+
+// sessionRecorder adapts a session's journal to the engine's BatchRecorder
+// hook: each measured batch is durably appended before the engine
+// proceeds. A successful append also flips a recovering session to running
+// — replayed batches are never re-journaled, so an append means the run is
+// past its recovered history and measuring live again.
+type sessionRecorder struct{ s *session }
+
+// RecordBatch implements core.BatchRecorder.
+func (r sessionRecorder) RecordBatch(samples []core.Sample) error {
+	var b journal.Batch
+	if len(samples) > 0 {
+		b.Iteration = samples[0].Iteration
+		b.Active = samples[0].ActiveLearning
+	}
+	for _, s := range samples {
+		b.Samples = append(b.Samples, journal.SampleRecord{Index: s.Index, Objs: s.Objs})
+	}
+	if err := r.s.jw.Batch(b); err != nil {
+		return err
+	}
+	r.s.journaled.Add(int64(len(samples)))
+	r.s.leaveRecovering()
+	return nil
+}
+
+// restoreDataDir scans <data-dir>/runs after a restart: terminal runs are
+// restored as read-only sessions (their status and front keep serving, and
+// TTL/cap eviction keeps applying to them), interrupted runs are returned
+// for the resume pass, and the sequence counter is advanced past
+// everything on disk so newly minted ids never collide with old ones.
+func (m *Manager) restoreDataDir() []runMeta {
+	root := filepath.Join(m.cfg.DataDir, "runs")
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		if !os.IsNotExist(err) {
+			m.logf("scanning %s: %v", root, err)
+		}
+		return nil
+	}
+	var interrupted []runMeta
+	var maxSeq int64
+	for _, e := range entries {
+		id := e.Name()
+		seq, ok := parseSeq(id)
+		if !e.IsDir() || !ok {
+			continue
+		}
+		dir := filepath.Join(root, id)
+		var meta runMeta
+		if err := journal.ReadJSON(filepath.Join(dir, "meta.json"), &meta); err != nil {
+			m.logf("run %s: unreadable meta.json, skipping: %v", id, err)
+			continue
+		}
+		maxSeq = max(maxSeq, seq)
+		var res storedResult
+		err := journal.ReadJSON(filepath.Join(dir, "result.json"), &res)
+		switch {
+		case err == nil:
+			m.restoreTerminal(meta, &res)
+		case errors.Is(err, os.ErrNotExist):
+			interrupted = append(interrupted, meta)
+		default:
+			// The run finished but its result artifact is unreadable; surface
+			// that as a failed session rather than replaying a finished run.
+			m.logf("run %s: unreadable result.json: %v", id, err)
+			m.restoreFailed(meta, fmt.Errorf("stored result unreadable: %w", err))
+		}
+	}
+	if maxSeq > m.seq.Load() {
+		m.seq.Store(maxSeq)
+	}
+	return interrupted
+}
+
+// restoreTerminal places a finished run back in the store from its
+// persisted artifacts.
+func (m *Manager) restoreTerminal(meta runMeta, res *storedResult) {
+	finished := res.Finished
+	if finished.IsZero() {
+		finished = time.Now()
+	}
+	s := &session{
+		id:       meta.ID,
+		seq:      meta.Seq,
+		problem:  Problem{Name: meta.Problem},
+		created:  meta.Created,
+		cancel:   func() {},
+		req:      meta.Request,
+		state:    res.Status.State,
+		finished: finished,
+		events:   res.Status.Iterations,
+		stored:   res,
+	}
+	if p, ok := m.problem(meta.Problem); ok {
+		s.problem = p
+	}
+	if res.Status.Error != "" {
+		s.err = errors.New(res.Status.Error)
+	}
+	m.store.Put(s)
+}
+
+// restoreFailed places a run back in the store as failed, without touching
+// its directory — a later restart under a fixed configuration can still
+// resume it.
+func (m *Manager) restoreFailed(meta runMeta, err error) {
+	s := &session{
+		id:       meta.ID,
+		seq:      meta.Seq,
+		problem:  Problem{Name: meta.Problem},
+		created:  meta.Created,
+		cancel:   func() {},
+		req:      meta.Request,
+		state:    StateFailed,
+		finished: time.Now(),
+		err:      err,
+	}
+	if p, ok := m.problem(meta.Problem); ok {
+		s.problem = p
+	}
+	m.store.Put(s)
+}
+
+// failInterrupted handles interrupted runs when the daemon starts without
+// resume enabled: each id still resolves (as failed, with an explanatory
+// error) and its directory stays intact for a future -resume restart.
+func (m *Manager) failInterrupted(metas []runMeta) {
+	for _, meta := range metas {
+		m.restoreFailed(meta, errors.New("interrupted by daemon restart; start with -resume to continue it"))
+	}
+}
+
+// resumeInterrupted relaunches every interrupted run from its journal.
+// Sessions appear in the store immediately (state "recovering") and
+// GET /readyz stays not-ready until each one has either reached live
+// measurement or gone terminal. Resume failures (missing problem,
+// fingerprint mismatch, unrecoverable journal) mark the session failed in
+// memory but leave its directory untouched.
+func (m *Manager) resumeInterrupted(metas []runMeta) {
+	m.recovering.Add(int64(len(metas)))
+	for _, meta := range metas {
+		ctx, cancel := context.WithCancel(m.baseCtx)
+		s := &session{
+			id:      meta.ID,
+			seq:     meta.Seq,
+			problem: Problem{Name: meta.Problem},
+			created: meta.Created,
+			cancel:  cancel,
+			req:     meta.Request,
+			state:   StateRecovering,
+		}
+		s.recoverDone = func() { m.recovering.Add(-1) }
+		if p, ok := m.problem(meta.Problem); ok {
+			s.problem = p
+		}
+		m.store.Put(s)
+		m.wg.Add(1)
+		go func(meta runMeta) {
+			defer m.wg.Done()
+			defer cancel()
+			m.resumeRun(ctx, s, meta)
+		}(meta)
+	}
+}
+
+// resumeRun replays one interrupted run's journal through the engine and
+// continues it from the first unmeasured configuration.
+func (m *Manager) resumeRun(ctx context.Context, s *session, meta runMeta) {
+	fail := func(err error) {
+		m.logf("resume %s: %v", s.id, err)
+		s.finish(nil, err)
+	}
+	p, ok := m.problem(meta.Problem)
+	if !ok {
+		fail(fmt.Errorf("%w: %q (re-register it and restart to resume)", ErrUnknownProblem, meta.Problem))
+		return
+	}
+	rec, err := journal.Recover(m.journalPath(s.id))
+	if err != nil {
+		fail(err)
+		return
+	}
+	if rec.TruncatedBytes > 0 {
+		m.logf("resume %s: dropped a %d-byte torn journal tail", s.id, rec.TruncatedBytes)
+	}
+	cache, _ := m.Cache(meta.Problem)
+	if meta.Request.NoCache {
+		cache = nil
+	}
+	opts := m.buildOpts(p, meta.Request, cache, s)
+	if fp := core.RunFingerprint(p.Space, opts); fp != rec.Header.Fingerprint {
+		fail(fmt.Errorf("journal fingerprint mismatch (journal %q, relaunch %q); refusing to replay", rec.Header.Fingerprint, fp))
+		return
+	}
+	if rec.Done != nil && rec.Done.State != string(StateDone) {
+		// The run was cancelled or failed but crashed before result.json:
+		// persist the terminal state now instead of resurrecting the run.
+		m.restoreDone(s, rec)
+		return
+	}
+	// A journal with a done(done) marker replays to the identical finished
+	// result (the engine stops at the same converged/budget point), which
+	// regenerates the missing result.json without any evaluator calls.
+	m.logf("resume %s: replaying %d measured evaluations across %d batches", s.id, rec.Samples(), len(rec.Batches))
+	jw, err := journal.OpenAppendWriter(m.journalPath(s.id))
+	if err != nil {
+		fail(err)
+		return
+	}
+	s.jw = jw
+	s.journaled.Store(int64(rec.Samples()))
+	opts.Replay = rec.Replay()
+	opts.Journal = sessionRecorder{s}
+	res, err := core.RunContext(ctx, p.Space, p.Eval, opts)
+	s.finish(res, err)
+	m.persistTerminal(s)
+}
+
+// restoreDone finalizes a run whose journal already carries a non-done
+// terminal marker (cancelled or failed) but whose result.json was lost to
+// the crash: the terminal status is rebuilt from the journal and persisted
+// so the next restart restores it directly.
+func (m *Manager) restoreDone(s *session, rec *journal.Recovered) {
+	st := RunStatus{
+		ID:         s.id,
+		Problem:    s.problem.Name,
+		State:      State(rec.Done.State),
+		Created:    s.created,
+		Samples:    rec.Samples(),
+		Error:      rec.Done.Error,
+		Iterations: []IterationEvent{},
+	}
+	res := &storedResult{Status: st, Finished: time.Now()}
+	s.mu.Lock()
+	s.stored = res
+	s.state = st.State
+	s.finished = res.Finished
+	if st.Error != "" {
+		s.err = errors.New(st.Error)
+	}
+	s.wakeLocked()
+	s.mu.Unlock()
+	s.recoverExit()
+	if err := journal.WriteJSONAtomic(filepath.Join(m.runDir(s.id), "result.json"), res); err != nil {
+		m.logf("run %s: persisting restored result: %v", s.id, err)
+	}
+}

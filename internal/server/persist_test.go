@@ -1,0 +1,482 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/journal"
+	"repro/internal/param"
+)
+
+// persistReq is the run request used across the persistence tests: big
+// enough to exercise bootstrap + AL rounds, small enough to stay fast.
+var persistReq = RunRequest{
+	Problem: "toy", Seed: 11, RandomSamples: 25, MaxIterations: 3, MaxBatch: 12,
+}
+
+func shutdownManager(t *testing.T, mgr *Manager) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := mgr.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+func getFrontBytes(t *testing.T, ts *httptest.Server, id string) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/runs/" + id + "/front")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /runs/%s/front = %d: %s", id, resp.StatusCode, data)
+	}
+	return string(data)
+}
+
+func waitManagerTerminal(t *testing.T, mgr *Manager, id string) RunStatus {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		s, ok := mgr.Get(id)
+		if !ok {
+			t.Fatalf("run %s not found while waiting", id)
+		}
+		if st := s.status(); st.State.Terminal() {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("run %s did not reach a terminal state", id)
+	return RunStatus{}
+}
+
+// A finished run must survive a daemon restart: status, error-free state,
+// and the exact front keep serving from the persisted artifacts.
+func TestPersistRestartServesTerminalRuns(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{DataDir: dir}
+
+	m1 := NewManagerConfig(cfg, testProblem("toy", 0))
+	ts1 := httptest.NewServer(m1.Handler())
+	st := postRun(t, ts1, persistReq)
+	final := waitTerminal(t, ts1, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("state = %s (%s), want done", final.State, final.Error)
+	}
+	front1 := getFrontBytes(t, ts1, st.ID)
+	ts1.Close()
+	shutdownManager(t, m1)
+
+	m2 := NewManagerConfig(cfg, testProblem("toy", 0))
+	ts2 := httptest.NewServer(m2.Handler())
+	defer ts2.Close()
+	defer shutdownManager(t, m2)
+
+	restored := getStatus(t, ts2, st.ID)
+	if restored.State != StateDone {
+		t.Errorf("restored state = %s, want done", restored.State)
+	}
+	if restored.Samples != final.Samples || restored.FrontSize != final.FrontSize {
+		t.Errorf("restored status %d samples/%d front, want %d/%d",
+			restored.Samples, restored.FrontSize, final.Samples, final.FrontSize)
+	}
+	if len(restored.Iterations) != len(final.Iterations) {
+		t.Errorf("restored %d iteration events, want %d", len(restored.Iterations), len(final.Iterations))
+	}
+	if front2 := getFrontBytes(t, ts2, st.ID); front2 != front1 {
+		t.Error("restored front differs from the front served before restart")
+	}
+	// New runs on the restarted daemon must not collide with restored ids.
+	st2 := postRun(t, ts2, persistReq)
+	if st2.ID == st.ID {
+		t.Fatalf("restarted daemon reissued id %s", st.ID)
+	}
+	waitTerminal(t, ts2, st2.ID)
+}
+
+// Graceful shutdown mid-run leaves the run resumable; a restart with
+// Resume replays the journal and finishes with a front byte-identical to
+// an uninterrupted run of the same seed.
+func TestPersistShutdownResumeByteIdentical(t *testing.T) {
+	// Uninterrupted reference, memory-only.
+	ref, tsRef := newTestServer(t, testProblem("toy", 0))
+	_ = ref
+	refSt := postRun(t, tsRef, persistReq)
+	if st := waitTerminal(t, tsRef, refSt.ID); st.State != StateDone {
+		t.Fatalf("reference run: %s (%s)", st.State, st.Error)
+	}
+	refFront := getFrontBytes(t, tsRef, refSt.ID)
+
+	dir := t.TempDir()
+	cfg := Config{DataDir: dir, Resume: true, Logf: t.Logf}
+	// Slow evaluator: the run cannot finish before the shutdown below.
+	m1 := NewManagerConfig(cfg, testProblem("toy", 3*time.Millisecond))
+	ts1 := httptest.NewServer(m1.Handler())
+	st := postRun(t, ts1, persistReq)
+
+	// Wait for at least the bootstrap to be journaled, then shut down.
+	deadline := time.Now().Add(30 * time.Second)
+	for getStatus(t, ts1, st.ID).Samples < persistReq.RandomSamples {
+		if time.Now().After(deadline) {
+			t.Fatal("bootstrap never journaled")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ts1.Close()
+	shutdownManager(t, m1)
+
+	if _, err := os.Stat(filepath.Join(dir, "runs", st.ID, "result.json")); !os.IsNotExist(err) {
+		t.Fatalf("shutdown-cancelled run has a result.json (err=%v); it would not be resumable", err)
+	}
+	rec, err := journal.Recover(filepath.Join(dir, "runs", st.ID, "journal.jsonl"))
+	if err != nil {
+		t.Fatalf("recovering journal: %v", err)
+	}
+	if len(rec.Checkpoints) == 0 || rec.Checkpoints[0].Reason != "shutdown" {
+		t.Fatalf("journal has no shutdown checkpoint: %+v", rec.Checkpoints)
+	}
+	if rec.Done != nil {
+		t.Fatal("journal has a done marker; run would not be resumable")
+	}
+
+	m2 := NewManagerConfig(cfg, testProblem("toy", 0))
+	ts2 := httptest.NewServer(m2.Handler())
+	defer ts2.Close()
+	defer shutdownManager(t, m2)
+
+	final := waitTerminal(t, ts2, st.ID)
+	if final.State != StateDone {
+		t.Fatalf("resumed run: %s (%s)", final.State, final.Error)
+	}
+	if got := getFrontBytes(t, ts2, st.ID); got != refFront {
+		t.Errorf("resumed front differs from uninterrupted reference:\n resumed: %s\n reference: %s", got, refFront)
+	}
+	if !m2.Ready() {
+		t.Error("manager not ready after resume completed")
+	}
+}
+
+// An evicted persistent session's files are deleted, and the 404 survives
+// a restart — eviction must not resurrect as a zombie at the next
+// recovery scan.
+func TestPersistEvictionUnlinksAndSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{DataDir: dir, MaxSessions: 1, JanitorInterval: time.Hour}
+
+	m1 := NewManagerConfig(cfg, testProblem("toy", 0))
+	ts1 := httptest.NewServer(m1.Handler())
+	first := postRun(t, ts1, persistReq)
+	waitTerminal(t, ts1, first.ID)
+	firstDir := filepath.Join(dir, "runs", first.ID)
+	if _, err := os.Stat(firstDir); err != nil {
+		t.Fatalf("run dir missing before eviction: %v", err)
+	}
+
+	// The second Start enforces the cap synchronously and evicts the first
+	// (terminal) session.
+	second := postRun(t, ts1, persistReq)
+	if _, ok := m1.Get(first.ID); ok {
+		t.Fatal("first session not evicted by cap")
+	}
+	if _, err := os.Stat(firstDir); !os.IsNotExist(err) {
+		t.Fatalf("evicted session's run dir still on disk (err=%v)", err)
+	}
+	waitTerminal(t, ts1, second.ID)
+	ts1.Close()
+	shutdownManager(t, m1)
+
+	m2 := NewManagerConfig(cfg, testProblem("toy", 0))
+	defer shutdownManager(t, m2)
+	if _, ok := m2.Get(first.ID); ok {
+		t.Error("evicted session resurrected after restart")
+	}
+	if _, ok := m2.Get(second.ID); !ok {
+		t.Error("retained session lost after restart")
+	}
+}
+
+// A user DELETE persists as terminal: the cancelled run must not restart
+// as running (or recovering) after a daemon restart.
+func TestPersistUserCancelStaysCancelled(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{DataDir: dir, Resume: true}
+
+	m1 := NewManagerConfig(cfg, testProblem("toy", 3*time.Millisecond))
+	ts1 := httptest.NewServer(m1.Handler())
+	st := postRun(t, ts1, persistReq)
+	if _, ok := m1.Cancel(st.ID); !ok {
+		t.Fatal("cancel missed")
+	}
+	if got := waitTerminal(t, ts1, st.ID); got.State != StateCancelled {
+		t.Fatalf("state = %s, want cancelled", got.State)
+	}
+	ts1.Close()
+	shutdownManager(t, m1)
+
+	m2 := NewManagerConfig(cfg, testProblem("toy", 0))
+	defer shutdownManager(t, m2)
+	s, ok := m2.Get(st.ID)
+	if !ok {
+		t.Fatal("cancelled run gone after restart")
+	}
+	if got := s.status(); got.State != StateCancelled {
+		t.Errorf("state after restart = %s, want cancelled (no zombie resurrection)", got.State)
+	}
+}
+
+// Starting without Resume restores interrupted runs as failed — with an
+// error telling the operator how to continue them — and leaves their
+// directories intact so a later Resume restart still can.
+func TestPersistInterruptedWithoutResume(t *testing.T) {
+	dir := t.TempDir()
+
+	m1 := NewManagerConfig(Config{DataDir: dir}, testProblem("toy", 3*time.Millisecond))
+	ts1 := httptest.NewServer(m1.Handler())
+	st := postRun(t, ts1, persistReq)
+	deadline := time.Now().Add(30 * time.Second)
+	for getStatus(t, ts1, st.ID).Samples < persistReq.RandomSamples {
+		if time.Now().After(deadline) {
+			t.Fatal("bootstrap never journaled")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ts1.Close()
+	shutdownManager(t, m1)
+
+	m2 := NewManagerConfig(Config{DataDir: dir}, testProblem("toy", 0))
+	s, ok := m2.Get(st.ID)
+	if !ok {
+		t.Fatal("interrupted run gone after restart")
+	}
+	got := s.status()
+	if got.State != StateFailed || !strings.Contains(got.Error, "-resume") {
+		t.Fatalf("status = %s (%q), want failed with -resume hint", got.State, got.Error)
+	}
+	shutdownManager(t, m2)
+	if _, err := os.Stat(filepath.Join(dir, "runs", st.ID, "journal.jsonl")); err != nil {
+		t.Fatalf("journal deleted by no-resume restart: %v", err)
+	}
+
+	// Third start, with Resume: the run completes after all.
+	m3 := NewManagerConfig(Config{DataDir: dir, Resume: true}, testProblem("toy", 0))
+	defer shutdownManager(t, m3)
+	if final := waitManagerTerminal(t, m3, st.ID); final.State != StateDone {
+		t.Fatalf("resumed run: %s (%s)", final.State, final.Error)
+	}
+}
+
+// Resume refuses a journal whose fingerprint does not match the relaunched
+// run (here: meta.json tampered to a different seed) instead of silently
+// replaying mismatched measurements.
+func TestPersistResumeFingerprintMismatch(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{DataDir: dir, Resume: true}
+
+	m1 := NewManagerConfig(cfg, testProblem("toy", 3*time.Millisecond))
+	ts1 := httptest.NewServer(m1.Handler())
+	st := postRun(t, ts1, persistReq)
+	deadline := time.Now().Add(30 * time.Second)
+	for getStatus(t, ts1, st.ID).Samples < persistReq.RandomSamples {
+		if time.Now().After(deadline) {
+			t.Fatal("bootstrap never journaled")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ts1.Close()
+	shutdownManager(t, m1)
+
+	metaPath := filepath.Join(dir, "runs", st.ID, "meta.json")
+	var meta runMeta
+	if err := journal.ReadJSON(metaPath, &meta); err != nil {
+		t.Fatal(err)
+	}
+	meta.Request.Seed++
+	if err := journal.WriteJSONAtomic(metaPath, meta); err != nil {
+		t.Fatal(err)
+	}
+
+	m2 := NewManagerConfig(cfg, testProblem("toy", 0))
+	defer shutdownManager(t, m2)
+	final := waitManagerTerminal(t, m2, st.ID)
+	if final.State != StateFailed || !strings.Contains(final.Error, "fingerprint") {
+		t.Fatalf("status = %s (%q), want failed with fingerprint refusal", final.State, final.Error)
+	}
+}
+
+// While a resumed run is replaying, /readyz answers 503; once it reaches
+// live measurement, 200. The evaluator gate makes the window deterministic.
+func TestPersistReadyzDuringRecovery(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{DataDir: dir, Resume: true}
+
+	// gate, when set, blocks every evaluation until released.
+	var gate atomic.Pointer[chan struct{}]
+	problem := testProblem("toy", 0)
+	inner := problem.Eval
+	problem.Eval = core.EvaluatorFunc(func(cfg param.Config) []float64 {
+		if ch := gate.Load(); ch != nil {
+			<-*ch
+		}
+		return inner.Evaluate(cfg)
+	})
+
+	m1 := NewManagerConfig(cfg, problem)
+	ts1 := httptest.NewServer(m1.Handler())
+	if getReadyz(t, ts1) != http.StatusOK {
+		t.Fatal("fresh daemon not ready")
+	}
+	st := postRun(t, ts1, persistReq)
+	if final := waitManagerTerminal(t, m1, st.ID); final.State != StateDone {
+		t.Fatalf("reference run: %s (%s)", final.State, final.Error)
+	}
+	ts1.Close()
+	shutdownManager(t, m1)
+
+	// Rewind the run to mid-exploration: drop the result and cut the
+	// journal back to the bootstrap batch, exactly what a crash right
+	// after the random phase leaves behind. Resume must then measure live
+	// batches, which the gate holds closed — so the recovery window stays
+	// open for as long as this test wants to observe it.
+	truncateToFirstBatch(t, cfg, st.ID)
+	ch := make(chan struct{})
+	gate.Store(&ch)
+	m2 := NewManagerConfig(cfg, problem)
+	ts2 := httptest.NewServer(m2.Handler())
+	defer ts2.Close()
+	defer shutdownManager(t, m2)
+
+	if code := getReadyz(t, ts2); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during recovery = %d, want 503", code)
+	}
+	if m2.Stats().Recovering != 1 {
+		t.Errorf("stats recovering = %d, want 1", m2.Stats().Recovering)
+	}
+	s, ok := m2.Get(st.ID)
+	if !ok {
+		t.Fatal("recovering run not visible")
+	}
+	if got := s.status().State; got != StateRecovering {
+		t.Errorf("state during recovery = %s, want recovering", got)
+	}
+
+	close(ch)
+	gate.Store(nil)
+	readyDeadline := time.Now().Add(60 * time.Second)
+	for getReadyz(t, ts2) != http.StatusOK {
+		if time.Now().After(readyDeadline) {
+			t.Fatal("daemon never became ready after the gate opened")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if final := waitManagerTerminal(t, m2, st.ID); final.State != StateDone {
+		t.Fatalf("resumed run: %s (%s)", final.State, final.Error)
+	}
+}
+
+// truncateToFirstBatch deletes a finished run's result and cuts its
+// journal back to the header plus the first batch record, leaving on disk
+// what a crash after the bootstrap phase would have left. The spilled
+// evaluation cache goes too — it holds the full run's measurements, and a
+// restarted daemon would happily serve the "live" batches from it without
+// ever touching the evaluator (exactly what production wants, exactly what
+// a test gating the evaluator does not).
+func truncateToFirstBatch(t *testing.T, cfg Config, id string) {
+	t.Helper()
+	if err := os.RemoveAll(filepath.Join(cfg.DataDir, "cache")); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(cfg.DataDir, "runs", id)
+	if err := os.Remove(filepath.Join(dir, "result.json")); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "journal.jsonl")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var keep []string
+	for _, line := range strings.Split(string(data), "\n") {
+		keep = append(keep, line)
+		if strings.Contains(line, `"t":"batch"`) {
+			break
+		}
+	}
+	if len(keep) < 2 {
+		t.Fatalf("journal has no batch record:\n%s", data)
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(keep, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func getReadyz(t *testing.T, ts *httptest.Server) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Ready bool `json:"ready"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Ready != (resp.StatusCode == http.StatusOK) {
+		t.Fatalf("readyz body %+v inconsistent with code %d", body, resp.StatusCode)
+	}
+	return resp.StatusCode
+}
+
+// A torn trailing journal record (crash mid-append) is truncated and the
+// run resumes from the last intact batch — recovery must not crash-loop
+// or refuse the journal.
+func TestPersistResumeTornJournalTail(t *testing.T) {
+	dir := t.TempDir()
+	cfg := Config{DataDir: dir, Resume: true, Logf: t.Logf}
+
+	m1 := NewManagerConfig(cfg, testProblem("toy", 3*time.Millisecond))
+	ts1 := httptest.NewServer(m1.Handler())
+	st := postRun(t, ts1, persistReq)
+	deadline := time.Now().Add(30 * time.Second)
+	for getStatus(t, ts1, st.ID).Samples < persistReq.RandomSamples {
+		if time.Now().After(deadline) {
+			t.Fatal("bootstrap never journaled")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	ts1.Close()
+	shutdownManager(t, m1)
+
+	jpath := filepath.Join(dir, "runs", st.ID, "journal.jsonl")
+	f, err := os.OpenFile(jpath, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprint(f, `{"t":"batch","batch":{"iteration":9,"samples":[{"i":12,"o":[0.1`)
+	f.Close()
+
+	m2 := NewManagerConfig(cfg, testProblem("toy", 0))
+	defer shutdownManager(t, m2)
+	if final := waitManagerTerminal(t, m2, st.ID); final.State != StateDone {
+		t.Fatalf("resumed run after torn tail: %s (%s)", final.State, final.Error)
+	}
+}

@@ -10,6 +10,8 @@
 //	GET    /problems         list the registered optimization problems
 //	POST   /problems         register a declarative problem spec at runtime
 //	GET    /stats            session-store and eviction counters
+//	GET    /healthz          liveness (always 200 while serving)
+//	GET    /readyz           readiness (503 until journal recovery finishes)
 //	POST   /runs             start a DSE session           → 201 + status
 //	GET    /runs             list sessions
 //	GET    /runs/{id}        poll one session's status and progress
@@ -20,16 +22,18 @@
 // Sessions over the same problem share one evaluator memo-cache, so
 // repeated explorations of a space skip re-measurement.
 //
-// The package splits along its three layers: this file owns the Manager
+// The package splits along its layers: this file owns the Manager
 // (registry, session launch, lifecycle policy), session.go the per-session
-// state machine, store.go the sharded SessionStore and eviction, and
-// handlers.go the HTTP surface.
+// state machine, store.go the sharded SessionStore and eviction,
+// persist.go the data-directory durability layer (journals, crash-safe
+// resume, persisted results), and handlers.go the HTTP surface.
 package server
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"slices"
 	"strings"
 	"sync"
@@ -87,6 +91,10 @@ var ErrUnknownProblem = errors.New("unknown problem")
 
 // ErrShuttingDown reports a RunRequest arriving after Shutdown began.
 var ErrShuttingDown = errors.New("server is shutting down")
+
+// ErrStorage reports a data-directory persistence failure while launching
+// a run; it maps to 500, not 400 — the request was fine, the disk was not.
+var ErrStorage = errors.New("run storage failure")
 
 // Request budget ceilings: hypermapperd is a shared multi-user service, so
 // one request must not be able to exhaust the process (e.g. a huge tree
@@ -154,6 +162,21 @@ type Config struct {
 	// registration via POST /problems. The daemon wires this to the
 	// catalog's spec loader; with no loader the endpoint answers 501.
 	SpecLoader func(data []byte) (Problem, error)
+	// DataDir, when non-empty, makes the manager durable: every run gets an
+	// fsync'd evaluation journal under <DataDir>/runs/<id>/, terminal
+	// results persist as atomic JSON artifacts, evaluator memo-caches spill
+	// to <DataDir>/cache/, and sessions survive daemon restarts. Empty
+	// keeps everything in memory.
+	DataDir string
+	// Resume, with DataDir set, replays interrupted runs' journals on
+	// startup and continues each from its first unmeasured configuration.
+	// Without it interrupted runs are restored as failed; their directories
+	// are left intact, so a later restart with resume enabled can still
+	// pick them up.
+	Resume bool
+	// Logf, when non-nil, receives durability-layer diagnostics (recovery
+	// progress, resume refusals, persistence errors).
+	Logf func(format string, args ...any)
 }
 
 func (c Config) janitorInterval() time.Duration {
@@ -185,6 +208,9 @@ type Manager struct {
 	wg       sync.WaitGroup
 	baseCtx  context.Context
 	baseStop context.CancelFunc
+
+	started    time.Time
+	recovering atomic.Int64 // resumed sessions still replaying their journals
 }
 
 // NewManager returns a manager with the given problems registered and no
@@ -195,7 +221,9 @@ func NewManager(problems ...Problem) *Manager {
 
 // NewManagerConfig returns a manager with the given lifecycle config. If
 // the config enables any eviction (TTL or cap), a janitor goroutine runs
-// until Shutdown.
+// until Shutdown. With DataDir set, the constructor also restores
+// persisted sessions from disk and (with Resume) relaunches interrupted
+// runs from their journals.
 func NewManagerConfig(cfg Config, problems ...Problem) *Manager {
 	ctx, stop := context.WithCancel(context.Background())
 	m := &Manager{
@@ -205,27 +233,77 @@ func NewManagerConfig(cfg Config, problems ...Problem) *Manager {
 		store:    newShardedStore(cfg.Shards),
 		baseCtx:  ctx,
 		baseStop: stop,
+		started:  time.Now(),
+	}
+	if cfg.DataDir != "" {
+		m.store = newPersistentStore(cfg.Shards, cfg.DataDir)
 	}
 	for _, p := range problems {
 		m.Register(p)
+	}
+	var interrupted []runMeta
+	if cfg.DataDir != "" {
+		interrupted = m.restoreDataDir()
 	}
 	if cfg.SessionTTL > 0 || cfg.MaxSessions > 0 {
 		m.wg.Add(1)
 		go m.janitor(cfg.janitorInterval())
 	}
+	switch {
+	case len(interrupted) == 0:
+	case cfg.Resume:
+		m.resumeInterrupted(interrupted)
+	default:
+		m.failInterrupted(interrupted)
+	}
 	return m
 }
 
 // Register adds or replaces a problem. Replacing always resets the
-// problem's memo-cache: the space fingerprint cannot detect an evaluator
-// change, and serving the old evaluator's measurements to the new one
-// would silently corrupt results.
+// problem's memo-cache, including its on-disk spill: the space fingerprint
+// cannot detect an evaluator change, and serving the old evaluator's
+// measurements to the new one would silently corrupt results.
 func (m *Manager) Register(p Problem) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if old := m.caches[p.Name]; old != nil {
+		if err := old.RemoveSpill(); err != nil {
+			m.logf("problem %q: removing stale cache spill: %v", p.Name, err)
+		}
+	}
 	m.problems[p.Name] = p
-	m.caches[p.Name] = core.NewEvalCache()
+	m.caches[p.Name] = m.newCache(p.Name)
 }
+
+// newCache builds a problem's memo-cache: disk-spilled under the data
+// directory when the manager is persistent, memory-only otherwise. Called
+// under m.mu.
+func (m *Manager) newCache(problem string) *core.EvalCache {
+	if m.cfg.DataDir == "" {
+		return core.NewEvalCache()
+	}
+	return core.NewEvalCacheDir(filepath.Join(m.cfg.DataDir, "cache", cacheDirName(problem)))
+}
+
+// problem looks up one registered problem.
+func (m *Manager) problem(name string) (Problem, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	p, ok := m.problems[name]
+	return p, ok
+}
+
+// isClosed reports whether Shutdown has begun.
+func (m *Manager) isClosed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// Ready reports whether startup recovery has finished: every resumed
+// session has either reached live measurement or gone terminal. New runs
+// are accepted either way; readiness only gates load-balancer traffic.
+func (m *Manager) Ready() bool { return m.recovering.Load() == 0 }
 
 // Problems lists the registered problems sorted by name.
 func (m *Manager) Problems() []Problem {
@@ -276,14 +354,42 @@ func (m *Manager) Start(req RunRequest) (RunStatus, error) {
 		problem: p,
 		created: time.Now(),
 		cancel:  cancel,
+		req:     req,
 		state:   StateRunning,
 	}
 	m.wg.Add(1)
 	m.mu.Unlock()
+
+	opts := m.buildOpts(p, req, cache, s)
+	if m.cfg.DataDir != "" {
+		// Persist the run's identity and open its journal before the session
+		// becomes visible: once a client sees the id, a crash at any later
+		// instant leaves a recoverable directory.
+		if err := m.persistStart(s, core.RunFingerprint(p.Space, opts)); err != nil {
+			m.wg.Done()
+			cancel()
+			return RunStatus{}, fmt.Errorf("%w: %v", ErrStorage, err)
+		}
+		opts.Journal = sessionRecorder{s}
+	}
 	st := s.status()
 	m.store.Put(s)
 	m.enforceCap()
 
+	go func() {
+		defer m.wg.Done()
+		res, err := core.RunContext(ctx, p.Space, p.Eval, opts)
+		s.finish(res, err)
+		m.persistTerminal(s)
+		cancel()
+	}()
+	return st, nil
+}
+
+// buildOpts assembles the engine options for a request — shared by Start
+// and the resume path, which must produce an identical configuration for
+// the run fingerprints to match.
+func (m *Manager) buildOpts(p Problem, req RunRequest, cache *core.EvalCache, s *session) core.Options {
 	opts := core.Options{
 		Objectives:    len(p.Objectives),
 		RandomSamples: req.RandomSamples,
@@ -303,14 +409,7 @@ func (m *Manager) Start(req RunRequest) (RunStatus, error) {
 		// the objective count pins the fleet to this daemon's catalog.
 		opts.Backend = m.cfg.EvalPool.Backend(p.Name, len(p.Objectives))
 	}
-
-	go func() {
-		defer m.wg.Done()
-		res, err := core.RunContext(ctx, p.Space, p.Eval, opts)
-		s.finish(res, err)
-		cancel()
-	}()
-	return st, nil
+	return opts
 }
 
 // Get returns a session by id. With eviction enabled, a previously valid
@@ -375,6 +474,14 @@ type Stats struct {
 	// counters (requests, failures, hedges, in-flight); absent when the
 	// daemon evaluates in-process.
 	Workers []worker.WorkerStats `json:"workers,omitempty"`
+	// Persistent reports whether a data directory backs this daemon;
+	// Recovering counts resumed sessions still replaying their journals
+	// (GET /readyz turns ready once it reaches 0), and CacheSpillErrors
+	// totals degraded-to-memory spill failures across the problem
+	// memo-caches.
+	Persistent       bool  `json:"persistent"`
+	Recovering       int64 `json:"recovering"`
+	CacheSpillErrors int64 `json:"cache_spill_errors"`
 }
 
 // Stats reports store occupancy, eviction counters, and the lifecycle
@@ -388,10 +495,17 @@ func (m *Manager) Stats() Stats {
 		MaxSessions:  m.cfg.MaxSessions,
 		SessionTTLS:  m.cfg.SessionTTL.Seconds(),
 		Problems:     len(m.Problems()),
+		Persistent:   m.cfg.DataDir != "",
+		Recovering:   m.recovering.Load(),
 	}
 	if m.cfg.EvalPool != nil {
 		st.Workers = m.cfg.EvalPool.Stats()
 	}
+	m.mu.Lock()
+	for _, c := range m.caches {
+		st.CacheSpillErrors += c.SpillErrors()
+	}
+	m.mu.Unlock()
 	if st.Shards < 1 {
 		st.Shards = defaultShards
 	}
@@ -406,13 +520,21 @@ func (m *Manager) Stats() Stats {
 	return st
 }
 
-// Shutdown refuses new sessions, cancels every running one, stops the
-// janitor, and waits (up to the context deadline) for their goroutines to
-// drain.
+// Shutdown refuses new sessions, journals a clean-shutdown checkpoint for
+// every live run (which persistTerminal then leaves in the resumable
+// shape), cancels them, stops the janitor, and waits (up to the context
+// deadline) for their goroutines to drain.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	m.closed = true // every wg.Add happened-before this; Wait is now safe
 	m.mu.Unlock()
+	if m.cfg.DataDir != "" {
+		for _, s := range m.store.Snapshot() {
+			if state, _ := s.terminalInfo(); !state.Terminal() {
+				s.checkpoint("shutdown")
+			}
+		}
+	}
 	m.baseStop()
 	done := make(chan struct{})
 	go func() {
@@ -421,8 +543,19 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		m.closeCaches()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
+	}
+}
+
+// closeCaches releases every problem cache's spill files; called once all
+// run goroutines have drained.
+func (m *Manager) closeCaches() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, c := range m.caches {
+		_ = c.Close()
 	}
 }

@@ -7,9 +7,11 @@ import (
 	"math"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/journal"
 )
 
 // State enumerates a session's lifecycle.
@@ -18,6 +20,13 @@ type State string
 const (
 	// StateRunning marks a session whose exploration is still in progress.
 	StateRunning State = "running"
+	// StateRecovering marks an interrupted session the daemon is rebuilding
+	// from its evaluation journal after a restart: the engine is replaying
+	// measured batches (no evaluator calls) until it reaches the first
+	// configuration the crash lost, at which point the session transitions
+	// to running. GET /readyz reports not-ready while any session is in
+	// this state.
+	StateRecovering State = "recovering"
 	// StateDone marks a session that completed its budget or converged.
 	StateDone State = "done"
 	// StateCancelled marks a session stopped by DELETE /runs/{id} or
@@ -29,7 +38,7 @@ const (
 )
 
 // Terminal reports whether no further progress events can arrive.
-func (s State) Terminal() bool { return s != StateRunning }
+func (s State) Terminal() bool { return s != StateRunning && s != StateRecovering }
 
 // IterationEvent is one progress record: the bootstrap (iteration 0) or an
 // active-learning round. The *_ms fields are the engine's per-phase
@@ -141,6 +150,21 @@ type session struct {
 	created time.Time
 	cancel  context.CancelFunc
 
+	// req is the originating run request, persisted in meta.json so a
+	// restarted daemon can rebuild identical engine options for resume.
+	req RunRequest
+	// jw is the run's evaluation journal; nil when the manager has no data
+	// directory, and for sessions restored already-terminal.
+	jw *journal.Writer
+	// journaled counts evaluations durably recorded in the journal,
+	// including replayed history on resume; checkpoints persist it.
+	journaled atomic.Int64
+	// recoverDone fires exactly once when the session leaves
+	// StateRecovering (first live measurement, or terminal); the manager
+	// uses it to drive the /readyz recovering counter.
+	recoverDone func()
+	recoverOnce sync.Once
+
 	mu       sync.Mutex
 	state    State
 	finished time.Time // when state went terminal; zero while running
@@ -148,6 +172,10 @@ type session struct {
 	subs     map[chan struct{}]struct{} // wake signals for event streamers
 	result   *core.Result
 	err      error
+	// stored, when non-nil, is the terminal payload restored from disk
+	// after a restart: status and front are served from it, because the
+	// live *core.Result did not survive the process.
+	stored *storedResult
 }
 
 func toEvent(s core.IterationStats) IterationEvent {
@@ -196,7 +224,6 @@ func (s *session) wakeLocked() {
 // the run completed even if its context was cancelled moments later.
 func (s *session) finish(res *core.Result, err error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	s.result = res
 	switch {
 	case errors.Is(err, context.Canceled):
@@ -209,6 +236,49 @@ func (s *session) finish(res *core.Result, err error) {
 	}
 	s.finished = time.Now()
 	s.wakeLocked()
+	s.mu.Unlock()
+	s.recoverExit()
+}
+
+// leaveRecovering flips a recovering session to running — called on the
+// first journal append past the replayed history, when the engine starts
+// measuring configurations the crash lost.
+func (s *session) leaveRecovering() {
+	s.mu.Lock()
+	if s.state == StateRecovering {
+		s.state = StateRunning
+	}
+	s.mu.Unlock()
+	s.recoverExit()
+}
+
+// recoverExit fires the one-shot leave-recovering hook, if any.
+func (s *session) recoverExit() {
+	if s.recoverDone != nil {
+		s.recoverOnce.Do(s.recoverDone)
+	}
+}
+
+// checkpoint journals a clean-shutdown marker; the run stays resumable.
+// Best-effort: the journal's batch records alone are enough to resume.
+func (s *session) checkpoint(reason string) {
+	if s.jw == nil {
+		return
+	}
+	_ = s.jw.Checkpoint(journal.Checkpoint{
+		Reason:  reason,
+		Samples: int(s.journaled.Load()),
+		Time:    time.Now(),
+	})
+}
+
+// closeJournal releases the journal file, if one is open. Appends that
+// race a close (a shutdown checkpoint against a finishing run) fail with
+// os.ErrClosed, which every caller tolerates.
+func (s *session) closeJournal() {
+	if s.jw != nil {
+		_ = s.jw.Close()
+	}
 }
 
 // terminalInfo returns the state and, if terminal, when it became so.
@@ -253,6 +323,10 @@ func (s *session) eventsSince(cursor int) ([]IterationEvent, int, bool) {
 func (s *session) status() RunStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.stored != nil {
+		// Restored after a restart: the persisted status is the status.
+		return s.stored.Status
+	}
 	st := RunStatus{
 		ID:      s.id,
 		Problem: s.problem.Name,

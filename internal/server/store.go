@@ -1,6 +1,8 @@
 package server
 
 import (
+	"os"
+	"path/filepath"
 	"slices"
 	"strconv"
 	"strings"
@@ -148,6 +150,32 @@ func (st *shardedStore) Len() int {
 		sh.mu.RUnlock()
 	}
 	return n
+}
+
+// persistentStore couples the sharded in-memory store to a data
+// directory: deleting a session (explicit eviction, TTL, or cap) also
+// unlinks its on-disk run directory, so an evicted id stays 404 across
+// restarts instead of resurrecting as a zombie at the next recovery scan.
+// The unlink happens only after the in-memory delete succeeded, which
+// requires the canonical minted id — a hostile id never reaches the
+// filesystem.
+type persistentStore struct {
+	*shardedStore
+	dataDir string
+}
+
+// newPersistentStore returns a store over dataDir with n shards.
+func newPersistentStore(n int, dataDir string) *persistentStore {
+	return &persistentStore{shardedStore: newShardedStore(n), dataDir: dataDir}
+}
+
+// Delete implements SessionStore; it also removes the run's directory.
+func (st *persistentStore) Delete(id string) bool {
+	if !st.shardedStore.Delete(id) {
+		return false
+	}
+	_ = os.RemoveAll(filepath.Join(st.dataDir, "runs", id))
+	return true
 }
 
 // --- lifecycle: TTL and cap eviction ---------------------------------------
