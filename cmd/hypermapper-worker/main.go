@@ -48,10 +48,31 @@ func main() {
 			"directory of declarative problem specs (*.json, docs/SCENARIOS.md) to load at startup")
 		validate = flag.Bool("validate", false,
 			"build the problem catalog (builtins plus -problems specs), print it, and exit without serving")
+		quiet = flag.Bool("quiet", false,
+			"suppress informational output and bridge-evaluator failure chatter (fatal errors still print)")
 	)
 	flag.Parse()
 
+	infof := func(format string, args ...any) {
+		fmt.Printf("hypermapper-worker: "+format+"\n", args...)
+	}
+	if *quiet {
+		infof = func(string, ...any) {}
+	}
+
+	// Bridge evaluators (exec:/http: spec bindings) report measurement
+	// failures through this logger. -quiet and -validate silence them (nil);
+	// normal serving prefixes them onto stderr instead of leaking the
+	// process-global log.Printf default.
+	var bridgeLogf func(format string, args ...any)
+	if !*quiet && !*validate {
+		bridgeLogf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "hypermapper-worker: "+format+"\n", args...)
+		}
+	}
+
 	reg := catalog.NewRegistry()
+	reg.SetLogf(bridgeLogf)
 	if err := reg.RegisterBuiltins(*scale, *power); err != nil {
 		fatalf("registering builtin problems: %v", err)
 	}
@@ -60,7 +81,7 @@ func main() {
 		if err != nil {
 			fatalf("loading problem specs: %v", err)
 		}
-		fmt.Printf("hypermapper-worker: loaded %d problem specs from %s\n", n, *problemsDir)
+		infof("loaded %d problem specs from %s", n, *problemsDir)
 	}
 	if *validate {
 		for _, p := range reg.Problems() {
@@ -73,7 +94,7 @@ func main() {
 
 	ws := worker.NewServer(*evals)
 	ws.SetSpecLoader(func(data []byte) (worker.Problem, error) {
-		p, err := catalog.FromSpecData(data)
+		p, err := catalog.FromSpecDataLogf(data, bridgeLogf)
 		if err != nil {
 			return worker.Problem{}, err
 		}
@@ -88,14 +109,14 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: ws.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Printf("hypermapper-worker: listening on %s (%d problems)\n", *addr, len(ws.Problems()))
+	infof("listening on %s (%d problems)", *addr, len(ws.Problems()))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	select {
 	case <-ctx.Done():
 		stop()
-		fmt.Println("hypermapper-worker: shutting down")
+		infof("shutting down")
 	case err := <-errc:
 		fatalf("%v", err)
 	}

@@ -9,6 +9,7 @@
 //	hypermapperd -addr :8089
 //	curl -s localhost:8089/problems
 //	curl -s -X POST localhost:8089/runs -d '{"problem":"kfusion/ODROID-XU3","seed":1,"random_samples":60,"max_iterations":2}'
+//	curl -s -X POST localhost:8089/runs -d '{"problem":"constrained-synthetic","seed":1,"strategy":{"feasibility":true,"selector":"acquisition"}}'
 //	curl -s localhost:8089/runs/run-000001
 //	curl -s localhost:8089/runs/run-000001/events     # NDJSON progress stream
 //	curl -s localhost:8089/runs/run-000001/front
@@ -93,10 +94,31 @@ func main() {
 			"with -data-dir, replay interrupted runs' journals on startup and continue them; without it they are restored as failed (their journals stay on disk)")
 		evalDelay = flag.Duration("eval-delay", 0,
 			"artificial per-evaluation delay added to every in-process evaluator — a fault-injection aid that widens the window for kill/restart testing")
+		quiet = flag.Bool("quiet", false,
+			"suppress informational output and bridge-evaluator failure chatter (fatal errors still print)")
 	)
 	flag.Parse()
 
+	infof := func(format string, args ...any) {
+		fmt.Printf("hypermapperd: "+format+"\n", args...)
+	}
+	if *quiet {
+		infof = func(string, ...any) {}
+	}
+
+	// Bridge evaluators (exec:/http: spec bindings) report measurement
+	// failures through this logger. -quiet and -validate silence them (nil);
+	// normal serving prefixes them onto stderr instead of leaking the
+	// process-global log.Printf default.
+	var bridgeLogf func(format string, args ...any)
+	if !*quiet && !*validate {
+		bridgeLogf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "hypermapperd: "+format+"\n", args...)
+		}
+	}
+
 	reg := catalog.NewRegistry()
+	reg.SetLogf(bridgeLogf)
 	if err := reg.RegisterBuiltins(*scale, *power); err != nil {
 		fatalf("registering builtin problems: %v", err)
 	}
@@ -105,7 +127,7 @@ func main() {
 		if err != nil {
 			fatalf("loading problem specs: %v", err)
 		}
-		fmt.Printf("hypermapperd: loaded %d problem specs from %s\n", n, *problemsDir)
+		infof("loaded %d problem specs from %s", n, *problemsDir)
 	}
 	if *validate {
 		for _, p := range reg.Problems() {
@@ -123,14 +145,14 @@ func main() {
 		DataDir:     *dataDir,
 		Resume:      *resume,
 		SpecLoader: func(data []byte) (server.Problem, error) {
-			p, err := catalog.FromSpecData(data)
+			p, err := catalog.FromSpecDataLogf(data, bridgeLogf)
 			if err != nil {
 				return server.Problem{}, err
 			}
 			return toServerProblem(p), nil
 		},
 	}
-	if *dataDir != "" {
+	if *dataDir != "" && !*quiet {
 		cfg.Logf = func(format string, args ...any) {
 			fmt.Printf("hypermapperd: "+format+"\n", args...)
 		}
@@ -169,7 +191,7 @@ func main() {
 	if *dataDir != "" {
 		mode += ", durable state in " + *dataDir
 	}
-	fmt.Printf("hypermapperd: listening on %s (%d problems, %s)\n", *addr, len(mgr.Problems()), mode)
+	infof("listening on %s (%d problems, %s)", *addr, len(mgr.Problems()), mode)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -178,7 +200,7 @@ func main() {
 		// Release the handler so a second signal kills the process
 		// instead of being swallowed during the drain below.
 		stop()
-		fmt.Println("hypermapperd: shutting down")
+		infof("shutting down")
 	case err := <-errc:
 		fatalf("%v", err)
 	}

@@ -35,11 +35,33 @@ type Problem struct {
 type Registry struct {
 	mu       sync.Mutex
 	problems map[string]Problem
+	logf     func(format string, args ...any)
+	logfSet  bool
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{problems: make(map[string]Problem)}
+}
+
+// SetLogf routes the failure log of every bridge evaluator materialized by
+// this registry from now on (AddSpec, AddSpecData, LoadDir) to logf; nil
+// silences them. Daemons call it once at startup so -quiet and -validate
+// modes do not leak bridge chatter through the process-global logger.
+// Already-registered problems are unaffected.
+func (r *Registry) SetLogf(logf func(format string, args ...any)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.logf = logf
+	r.logfSet = true
+}
+
+// bridgeLogf returns the configured bridge logger and whether SetLogf was
+// ever called (false = keep the bridges' process-global default).
+func (r *Registry) bridgeLogf() (func(format string, args ...any), bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.logf, r.logfSet
 }
 
 // Register validates and adds a problem, replacing any existing problem of

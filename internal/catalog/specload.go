@@ -12,8 +12,21 @@ import (
 // evaluator binding resolves to a builtin model, an exec bridge, or an
 // HTTP bridge (internal/worker). Exec and HTTP evaluators are constructed
 // lazily enough to be safe here — no subprocess is started and no request
-// is sent until the first evaluation.
+// is sent until the first evaluation. Bridge failure reports go to the
+// process-global logger; use FromSpecLogf to route or silence them.
 func FromSpec(sp *spec.Spec) (Problem, error) {
+	return fromSpec(sp, nil, false)
+}
+
+// FromSpecLogf is FromSpec with the bridge evaluators' failure log routed
+// to logf — nil silences it, which is what a daemon's -validate pass or
+// -quiet mode wants instead of bridge chatter on stderr. Builtin
+// evaluators have no bridge log and are unaffected.
+func FromSpecLogf(sp *spec.Spec, logf func(format string, args ...any)) (Problem, error) {
+	return fromSpec(sp, logf, true)
+}
+
+func fromSpec(sp *spec.Spec, logf func(format string, args ...any), routeLog bool) (Problem, error) {
 	if err := sp.Validate(); err != nil {
 		return Problem{}, err
 	}
@@ -43,12 +56,20 @@ func FromSpec(sp *spec.Spec) (Problem, error) {
 			return Problem{}, fmt.Errorf("spec %q: %w", sp.Name, err)
 		}
 	case "exec":
-		p.Eval, err = worker.NewExecEvaluator(binding.Target, space, len(sp.Objectives))
+		ex, err := worker.NewExecEvaluator(binding.Target, space, len(sp.Objectives))
 		if err != nil {
 			return Problem{}, fmt.Errorf("spec %q: %w", sp.Name, err)
 		}
+		if routeLog {
+			ex.SetLogf(logf)
+		}
+		p.Eval = ex
 	case "http":
-		p.Eval = worker.NewHTTPEvaluator(binding.Target, space, len(sp.Objectives))
+		he := worker.NewHTTPEvaluator(binding.Target, space, len(sp.Objectives))
+		if routeLog {
+			he.SetLogf(logf)
+		}
+		p.Eval = he
 	default:
 		return Problem{}, fmt.Errorf("spec %q: unknown binding kind %q", sp.Name, binding.Kind)
 	}
@@ -65,22 +86,35 @@ func FromSpecData(data []byte) (Problem, error) {
 	return FromSpec(sp)
 }
 
-// AddSpec materializes and registers one spec.
+// FromSpecDataLogf is FromSpecData with the bridge log routed to logf (nil
+// silences it), mirroring FromSpecLogf.
+func FromSpecDataLogf(data []byte, logf func(format string, args ...any)) (Problem, error) {
+	sp, err := spec.Parse(data)
+	if err != nil {
+		return Problem{}, err
+	}
+	return FromSpecLogf(sp, logf)
+}
+
+// AddSpec materializes and registers one spec, with the registry's bridge
+// logger applied (see SetLogf).
 func (r *Registry) AddSpec(sp *spec.Spec) error {
-	p, err := FromSpec(sp)
+	logf, routeLog := r.bridgeLogf()
+	p, err := fromSpec(sp, logf, routeLog)
 	if err != nil {
 		return err
 	}
 	return r.Register(p)
 }
 
-// AddSpecData parses, materializes, and registers raw spec JSON.
+// AddSpecData parses, materializes, and registers raw spec JSON, with the
+// registry's bridge logger applied (see SetLogf).
 func (r *Registry) AddSpecData(data []byte) error {
-	p, err := FromSpecData(data)
+	sp, err := spec.Parse(data)
 	if err != nil {
 		return err
 	}
-	return r.Register(p)
+	return r.AddSpec(sp)
 }
 
 // LoadDir registers every *.json spec in dir (sorted by name; later files

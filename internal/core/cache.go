@@ -72,18 +72,21 @@ func SpaceFingerprint(space *param.Space, objectives int) string {
 }
 
 // RunFingerprint identifies a run's deterministic identity: the space
-// grid and objective count plus the seed and every budget that shapes the
-// sample sequence. Two runs with equal fingerprints draw identical
-// bootstraps, pools, and forests, which is what makes journal replay
-// byte-identical — and why resume refuses a journal whose fingerprint
-// differs from the relaunched run's.
+// grid and objective count plus the seed, every budget that shapes the
+// sample sequence, and the search strategy (a non-default sampler, modeler,
+// or selector consumes the RNG differently, so strategies are never
+// replay-compatible with each other). Two runs with equal fingerprints draw
+// identical bootstraps, pools, and forests, which is what makes journal
+// replay byte-identical — and why resume refuses a journal whose
+// fingerprint differs from the relaunched run's.
 func RunFingerprint(space *param.Space, opts Options) string {
 	o := opts.withDefaults()
-	return fmt.Sprintf("%s;seed=%d;rs=%d;iters=%d;batch=%d;pool=%d;trees=%d;depth=%d;leaf=%d;mtry=%d;ratio=%g",
+	return fmt.Sprintf("%s;seed=%d;rs=%d;iters=%d;batch=%d;pool=%d;trees=%d;depth=%d;leaf=%d;mtry=%d;ratio=%g;sampler=%s;modeler=%s;selector=%s",
 		spaceFingerprint(space, o.Objectives), o.Seed, o.RandomSamples,
 		o.MaxIterations, o.MaxBatch, o.PoolCap,
 		o.Forest.Trees, o.Forest.MaxDepth, o.Forest.MinSamplesLeaf,
-		o.Forest.MaxFeatures, o.Forest.SampleRatio)
+		o.Forest.MaxFeatures, o.Forest.SampleRatio,
+		samplerName(o.Sampler), modelerName(o.Modeler), selectorName(o.Selector))
 }
 
 // evalCacheView is a cache handle bound to one space namespace; the engine

@@ -20,6 +20,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"slices"
 	"sync"
@@ -107,6 +108,17 @@ type Options struct {
 	// Objectives; the map is only read.
 	Replay map[int64][]float64
 
+	// Sampler, Modeler, and Selector plug the three stages of the
+	// search-strategy pipeline (see strategy.go). Nil selects the
+	// paper-faithful defaults — UniformSampler, ForestModeler,
+	// EvenThinSelector — which are byte-identical on the same seed to the
+	// engine before the pipeline existed. Non-default stages change the
+	// run's random sequence, so runs are only comparable (and journals only
+	// replayable) across equal strategies; RunFingerprint captures this.
+	Sampler  Sampler
+	Modeler  Modeler
+	Selector Selector
+
 	// cache is the run's space-bound view of Cache, set by RunContext.
 	cache *evalCacheView
 
@@ -139,6 +151,15 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Workers <= 0 {
 		o.Workers = par.MaxWorkers()
+	}
+	if o.Sampler == nil {
+		o.Sampler = UniformSampler{}
+	}
+	if o.Modeler == nil {
+		o.Modeler = ForestModeler{}
+	}
+	if o.Selector == nil {
+		o.Selector = EvenThinSelector{}
 	}
 	return o
 }
@@ -188,6 +209,14 @@ type IterationStats struct {
 	// round's batch (both zero when Options.Cache is nil).
 	CacheHits   int
 	CacheMisses int
+	// Hypervolume is the hypervolume indicator of the measured front after
+	// the phase, with respect to a reference at the measured nadir padded
+	// by 10% of the measured per-objective range (both over every valid
+	// sample so far). The reference tightens as measurements accumulate, so
+	// compare the values as a progress signal, not an absolute indicator
+	// against a fixed box (the quality harness computes that one). NaN
+	// while undefined — no valid samples yet.
+	Hypervolume float64
 	// Per-phase wall-clock durations of the round, in loop order: forest
 	// fitting, pool construction/encoding, pool prediction (including the
 	// predicted-front filter), and hardware evaluation of the new batch.
@@ -203,8 +232,18 @@ type IterationStats struct {
 // Result is the outcome of a HyperMapper run.
 type Result struct {
 	// Samples holds every evaluated configuration in evaluation order:
-	// first the random phase, then each AL round.
+	// first the random phase, then each AL round. Invalid measurements are
+	// kept apart in Invalid, so Samples is always safe to train on.
 	Samples []Sample
+	// Invalid holds measurements the evaluator marked invalid by returning
+	// NaN in any objective — configurations that violate a constraint only
+	// the real system knows about. They are only collected under a
+	// feasibility-aware strategy (Options.Modeler implementing
+	// FeasibilityLabeler): there they feed the feasibility classifier and
+	// are excluded from training matrices and fronts. Under the default
+	// strategy NaN objectives flow into Samples untouched, preserving the
+	// engine's historical behavior.
+	Invalid []Sample
 	// RandomFront is the measured Pareto front using only the random
 	// bootstrap samples (the red curve of Figs. 3–4).
 	RandomFront []pareto.Point
@@ -327,32 +366,118 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 		return nil
 	}
 
+	// Feasibility labeling is active only when the modeler asks for it: the
+	// default strategy must not encode extra rows or draw extra RNG values.
+	labeler, _ := o.Modeler.(FeasibilityLabeler)
+	wantFeas := labeler != nil && labeler.WantsFeasibilityLabels()
+	var feasX [][]float64
+	var feasY []float64
+	addLabel := func(cfg param.Config, valid bool) {
+		row := make([]float64, space.Dim())
+		space.Encode(cfg, row)
+		feasX = append(feasX, row)
+		if valid {
+			feasY = append(feasY, 1)
+		} else {
+			feasY = append(feasY, 0)
+		}
+	}
+
+	// Running per-objective bounds over valid measurements, feeding the
+	// per-phase hypervolume stat: reference = nadir + 10% of the range.
+	nadir := make([]float64, o.Objectives)
+	ideal := make([]float64, o.Objectives)
+	for k := range nadir {
+		nadir[k] = math.Inf(-1)
+		ideal[k] = math.Inf(1)
+	}
+	frontHypervolume := func(front []pareto.Point) float64 {
+		if len(front) == 0 {
+			return math.NaN()
+		}
+		ref := make([]float64, o.Objectives)
+		for k := range ref {
+			if math.IsInf(nadir[k], -1) {
+				return math.NaN()
+			}
+			ref[k] = nadir[k] + 0.1*(nadir[k]-ideal[k])
+		}
+		return pareto.Hypervolume(front, ref)
+	}
+
+	// ingest routes one measured batch into the run state: valid samples
+	// into the training set and result; NaN-marked ones — evaluator-side
+	// constraint violations, recognized only under a feasibility-aware
+	// strategy — into Result.Invalid and the classifier's labels.
+	ingest := func(batch []Sample) error {
+		for _, s := range batch {
+			if wantFeas {
+				invalid := slices.ContainsFunc(s.Objs, math.IsNaN)
+				addLabel(s.Config, !invalid)
+				if invalid {
+					res.Invalid = append(res.Invalid, s)
+					if st != nil {
+						st.noteInvalid(s)
+					}
+					evaluated[s.Index] = -1 // measured, but not in res.Samples
+					continue
+				}
+			}
+			if err := addSample(s); err != nil {
+				return err
+			}
+			for k, v := range s.Objs {
+				if math.IsNaN(v) {
+					continue // keep the hypervolume bounds defined
+				}
+				if v > nadir[k] {
+					nadir[k] = v
+				}
+				if v < ideal[k] {
+					ideal[k] = v
+				}
+			}
+		}
+		return nil
+	}
+
 	// ---- Random sampling bootstrap (X_out ← rs samples) ----
 	n := o.RandomSamples
 	if int64(n) > space.Size() {
 		n = int(space.Size())
 	}
-	bootstrap := space.SampleIndices(rng, n)
+	bootstrap := o.Sampler.Draw(space, rng, n)
 	o.logf("random sampling: evaluating %d configurations", len(bootstrap))
 	evalStart := time.Now()
 	batch, hits, misses, err := evaluateBatch(ctx, space, bootstrap, o, 0, false)
 	evalTime := time.Since(evalStart)
 	res.CacheHits += hits
 	res.CacheMisses += misses
-	for _, s := range batch {
-		if err := addSample(s); err != nil {
-			return nil, err
-		}
+	if err := ingest(batch); err != nil {
+		return nil, err
 	}
 	res.RandomFront = measuredFront(res.Samples)
 	if err != nil {
 		return finish(err)
+	}
+	if wantFeas {
+		// Probe the space's declared constraint predicate: uniform index
+		// draws labeled feasible/infeasible without touching the evaluator.
+		// They give the classifier a view of the infeasible region that
+		// measured samples alone (drawn feasible by construction) cannot.
+		probes := labeler.FeasibilityProbes()
+		cfg := make(param.Config, space.Dim())
+		for i := 0; i < probes; i++ {
+			space.AtIndexInto(rng.Int63n(space.Size()), cfg)
+			addLabel(cfg, space.Feasible(cfg))
+		}
 	}
 	o.logf("random sampling: front size %d", len(res.RandomFront))
 	o.onIteration(IterationStats{
 		NewSamples:   len(batch),
 		TotalSamples: len(res.Samples),
 		FrontSize:    len(res.RandomFront),
+		Hypervolume:  frontHypervolume(res.RandomFront),
 		CacheHits:    hits,
 		CacheMisses:  misses,
 		EvalTime:     evalTime,
@@ -364,16 +489,14 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 			return finish(err)
 		}
 		fitStart := time.Now()
-		var forests []*forest.Forest
-		var oob []float64
-		var oobN []int
+		var models *Models
 		if st != nil {
 			// Warm path: append the fresh batch to the shared presorted
-			// matrix and refit every objective from it.
+			// matrix and fit from it.
 			var cols *forest.Columns
 			cols, err = st.columns()
 			if err == nil {
-				forests, oob, oobN, err = fitForests(ctx, cols, st.ys, o, iter)
+				models, err = o.Modeler.Fit(ctx, Training{Cols: cols, Ys: st.ys, FeasX: feasX, FeasY: feasY}, o, iter)
 			}
 		} else {
 			// Legacy reference path: re-encode the training matrix and
@@ -384,7 +507,7 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 				var cols *forest.Columns
 				cols, err = forest.ColumnsFromRows(x)
 				if err == nil {
-					forests, oob, oobN, err = fitForests(ctx, cols, ys, o, iter)
+					models, err = o.Modeler.Fit(ctx, Training{Cols: cols, Ys: ys, FeasX: feasX, FeasY: feasY}, o, iter)
 				}
 			}
 		}
@@ -395,6 +518,8 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 			}
 			return nil, err
 		}
+		forests := models.Objectives
+		oob, oobN := models.OOBError, models.OOBSamples
 		res.Forests = forests
 
 		// Predict every objective over the pool and filter the predicted
@@ -415,26 +540,43 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 			predicted, encodeTime, predictTime = legacyPredict(space, rng, o, evaluated, forests)
 		}
 
-		// P − X_out: predicted-front configurations not yet measured.
-		var todo []int64
+		// P − X_out: predicted-front candidates not yet measured, run
+		// through the feasibility filter (when a classifier was fit) and
+		// handed to the selector to pick this round's batch.
+		cands := make([]pareto.Point, 0, len(predicted))
 		for _, p := range predicted {
 			if _, done := evaluated[p.ID]; !done {
-				todo = append(todo, p.ID)
+				cands = append(cands, p)
 			}
 		}
+		var feasProbs []float64
+		if models.Feasibility != nil && len(cands) > 0 {
+			selStart := time.Now()
+			feasProbs = predictFeasibility(space, models.Feasibility, cands)
+			cands, feasProbs = filterFeasible(cands, feasProbs, labeler.FeasibilityThreshold())
+			predictTime += time.Since(selStart)
+		}
+		todo := o.Selector.Select(Selection{
+			Space:       space,
+			Candidates:  cands,
+			Feasibility: feasProbs,
+			MaxBatch:    o.MaxBatch,
+		})
 		if len(todo) > o.MaxBatch {
-			todo = thin(todo, o.MaxBatch)
+			todo = todo[:o.MaxBatch] // clamp custom selectors to the contract
 		}
 		o.logf("iteration %d: predicted front %d, new configurations %d",
 			iter, len(predicted), len(todo))
 
 		if len(todo) == 0 {
 			res.Converged = true
+			front := measuredFront(res.Samples)
 			stats := IterationStats{
 				Iteration:          iter,
 				PredictedFrontSize: len(predicted),
 				TotalSamples:       len(res.Samples),
-				FrontSize:          len(measuredFront(res.Samples)),
+				FrontSize:          len(front),
+				Hypervolume:        frontHypervolume(front),
 				OOBError:           oob,
 				OOBSamples:         oobN,
 				FitTime:            fitTime,
@@ -451,10 +593,8 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 		evalTime := time.Since(evalStart)
 		res.CacheHits += hits
 		res.CacheMisses += misses
-		for _, s := range newSamples {
-			if err := addSample(s); err != nil {
-				return nil, err
-			}
+		if err := ingest(newSamples); err != nil {
+			return nil, err
 		}
 		if err != nil {
 			return finish(err)
@@ -466,6 +606,7 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 			NewSamples:         len(newSamples),
 			TotalSamples:       len(res.Samples),
 			FrontSize:          len(front),
+			Hypervolume:        frontHypervolume(front),
 			OOBError:           oob,
 			OOBSamples:         oobN,
 			CacheHits:          hits,
@@ -492,7 +633,7 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 func legacyPredict(space *param.Space, rng *rand.Rand, o Options, evaluated map[int64]int, forests []*forest.Forest) (predicted []pareto.Point, encodeTime, predictTime time.Duration) {
 	dim := space.Dim()
 	encStart := time.Now()
-	poolIdx, _ := predictionPool(space, rng, o.PoolCap, evaluated)
+	poolIdx, _ := predictionPool(space, rng, o.Sampler, o.PoolCap, evaluated)
 	feats := make([][]float64, len(poolIdx))
 	flat := make([]float64, len(poolIdx)*dim)
 	cfg := make(param.Config, dim)
@@ -526,6 +667,42 @@ func (o Options) onIteration(stats IterationStats) {
 	if o.OnIteration != nil {
 		o.OnIteration(stats)
 	}
+}
+
+// predictFeasibility encodes each candidate and asks the classifier for its
+// validity probability. Candidate sets are front-sized (tens to hundreds of
+// points), so a serial pass is cheap next to the pool prediction.
+func predictFeasibility(space *param.Space, cls *forest.Classifier, cands []pareto.Point) []float64 {
+	dim := space.Dim()
+	cfg := make(param.Config, dim)
+	rows := make([][]float64, len(cands))
+	flat := make([]float64, len(cands)*dim)
+	for i, p := range cands {
+		row := flat[i*dim : (i+1)*dim]
+		space.AtIndexInto(p.ID, cfg)
+		space.Encode(cfg, row)
+		rows[i] = row
+	}
+	return cls.PredictProbs(rows)
+}
+
+// filterFeasible drops candidates whose predicted validity probability falls
+// below threshold — unless that would drop all of them, in which case the
+// classifier is overruled (a stalled run teaches it nothing; measuring its
+// least-implausible candidates does).
+func filterFeasible(cands []pareto.Point, probs []float64, threshold float64) ([]pareto.Point, []float64) {
+	keptC := cands[:0]
+	keptP := probs[:0]
+	for i, p := range probs {
+		if p >= threshold {
+			keptC = append(keptC, cands[i])
+			keptP = append(keptP, p)
+		}
+	}
+	if len(keptC) == 0 {
+		return cands, probs
+	}
+	return keptC, keptP
 }
 
 // evaluateBatch measures the given configuration indices through the run's
@@ -679,18 +856,18 @@ func fitForests(ctx context.Context, cols *forest.Columns, ys [][]float64, o Opt
 }
 
 // predictionPool returns the pool X of Algorithm 1: every feasible index
-// when the space fits under cap, otherwise up to cap fresh random feasible
-// indices plus every evaluated index (so the predicted front can stabilize
-// onto measured points and the loop can converge). fresh is the length of
-// the leading enumerated-or-drawn segment — on a constrained space the
-// sampler can return fewer than poolCap draws, so callers that encode the
-// fresh segment separately must not assume it is poolCap long.
-func predictionPool(space *param.Space, rng *rand.Rand, poolCap int, evaluated map[int64]int) (pool []int64, fresh int) {
+// when the space fits under cap, otherwise up to cap fresh indices drawn by
+// the run's sampler plus every evaluated index (so the predicted front can
+// stabilize onto measured points and the loop can converge). fresh is the
+// length of the leading enumerated-or-drawn segment — on a constrained
+// space the sampler can return fewer than poolCap draws, so callers that
+// encode the fresh segment separately must not assume it is poolCap long.
+func predictionPool(space *param.Space, rng *rand.Rand, sampler Sampler, poolCap int, evaluated map[int64]int) (pool []int64, fresh int) {
 	if space.Size() <= int64(poolCap) {
 		pool = space.FeasibleIndices()
 		return pool, len(pool)
 	}
-	pool = space.SampleIndices(rng, poolCap)
+	pool = sampler.Draw(space, rng, poolCap)
 	fresh = len(pool)
 	seen := make(map[int64]struct{}, len(pool))
 	for _, idx := range pool {

@@ -76,10 +76,22 @@ func TestIncrementalMatchesLegacyPath(t *testing.T) {
 		objectives int
 		eval       Evaluator
 		poolCap    int
+		sampler    Sampler
+		modeler    Modeler
+		selector   Selector
 	}{
-		{"2obj-enumerable", 2, benchEval(space), 0},
-		{"2obj-subsampled", 2, benchEval(space), 100},
-		{"3obj-subsampled", 3, threeObj, 400},
+		{"2obj-enumerable", 2, benchEval(space), 0, nil, nil, nil},
+		{"2obj-subsampled", 2, benchEval(space), 100, nil, nil, nil},
+		{"3obj-subsampled", 3, threeObj, 400, nil, nil, nil},
+		// The non-default pipeline stages must agree across the two engine
+		// paths too: the pipeline sits above the pool/training
+		// representation, so strategy choice and path choice are orthogonal.
+		{"2obj-enumerable-strategy", 2, benchEval(space), 0,
+			PriorSampler{}, FeasibilityModeler{Probes: 64}, AcquisitionSelector{}},
+		{"2obj-subsampled-strategy", 2, benchEval(space), 100,
+			PriorSampler{}, FeasibilityModeler{Probes: 64}, AcquisitionSelector{}},
+		{"3obj-subsampled-strategy", 3, threeObj, 400,
+			UniformSampler{}, FeasibilityModeler{Probes: 64}, AcquisitionSelector{}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -90,6 +102,9 @@ func TestIncrementalMatchesLegacyPath(t *testing.T) {
 				MaxBatch:      30,
 				PoolCap:       tc.poolCap,
 				Seed:          23,
+				Sampler:       tc.sampler,
+				Modeler:       tc.modeler,
+				Selector:      tc.selector,
 			}
 			incremental, err := Run(space, tc.eval, opts)
 			if err != nil {

@@ -27,9 +27,10 @@ import (
 // The state is bound to one run (one space, one objective count) and is not
 // safe for concurrent use; RunContext drives it from a single goroutine.
 type poolState struct {
-	space *param.Space
-	dim   int
-	k     int // objective count
+	space   *param.Space
+	dim     int
+	k       int // objective count
+	sampler Sampler
 
 	poolCap    int
 	enumerable bool // the whole space fits under poolCap
@@ -63,6 +64,7 @@ func newPoolState(space *param.Space, o Options) *poolState {
 		space:      space,
 		dim:        space.Dim(),
 		k:          o.Objectives,
+		sampler:    o.Sampler,
 		poolCap:    o.PoolCap,
 		enumerable: space.Size() <= int64(o.PoolCap),
 		enc:        make(map[int64][]float64),
@@ -86,6 +88,16 @@ func (st *poolState) addSample(s Sample) error {
 		st.ys[j] = append(st.ys[j], s.Objs[j])
 	}
 	return nil
+}
+
+// noteInvalid caches the encoding of a measured-but-invalid configuration
+// (NaN objectives under a feasibility strategy): it never joins the
+// training matrix, but on subsampled spaces its index sits in the
+// evaluated-pool suffix, which is served from these cached rows.
+func (st *poolState) noteInvalid(s Sample) {
+	row := make([]float64, st.dim)
+	st.space.Encode(s.Config, row)
+	st.enc[s.Index] = row
 }
 
 // columns returns the shared presorted training matrix, first appending any
@@ -125,7 +137,7 @@ func (st *poolState) pool(rng *rand.Rand, evaluated map[int64]int, workers int) 
 	// space exceeds poolCap, so the leading fresh entries are the random
 	// draws (poolCap of them, fewer on a tightly constrained space) and the
 	// rest is the sorted evaluated suffix, whose encodings are cached.
-	pool, fresh := predictionPool(st.space, rng, st.poolCap, evaluated)
+	pool, fresh := predictionPool(st.space, rng, st.sampler, st.poolCap, evaluated)
 
 	if cap(st.poolFlat) < len(pool)*st.dim {
 		st.poolFlat = make([]float64, len(pool)*st.dim)

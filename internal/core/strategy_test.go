@@ -1,0 +1,446 @@
+package core
+
+import (
+	"math"
+	"slices"
+	"strings"
+	"testing"
+
+	"repro/internal/param"
+	"repro/internal/pareto"
+)
+
+// TestDefaultStrategyByteIdentical locks the refactor's core promise: a run
+// with explicitly wired default stages is byte-identical to a run with nil
+// strategy fields — the pipeline seams add no RNG draws and change no
+// ordering. PriorSampler on a space without declared priors degrades to the
+// uniform draw, so it is byte-identical too.
+func TestDefaultStrategyByteIdentical(t *testing.T) {
+	space := benchSpace(t)
+	opts := Options{
+		Objectives:    2,
+		RandomSamples: 40,
+		MaxIterations: 3,
+		MaxBatch:      30,
+		Seed:          23,
+	}
+	base, err := Run(space, benchEval(space), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit := opts
+	explicit.Sampler = UniformSampler{}
+	explicit.Modeler = ForestModeler{}
+	explicit.Selector = EvenThinSelector{}
+	wired, err := Run(space, benchEval(space), explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprintRun(base) != fingerprintRun(wired) {
+		t.Fatal("explicit default stages diverged from nil strategy fields")
+	}
+
+	priorless := opts
+	priorless.Sampler = PriorSampler{}
+	viaPriors, err := Run(space, benchEval(space), priorless)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fingerprintRun(base) != fingerprintRun(viaPriors) {
+		t.Fatal("PriorSampler on a priorless space diverged from the uniform draw")
+	}
+}
+
+// TestPriorSamplerConcentratesBootstrap checks the prior-guided stage end to
+// end: with priors pinning parameter "c" to level 1, every bootstrap draw
+// lands there, and the run still completes normally.
+func TestPriorSamplerConcentratesBootstrap(t *testing.T) {
+	s := param.MustSpace(
+		param.Grid("a", 0, 4, 40),
+		param.Grid("b", 0, 4, 40),
+		param.Levels("c", 1, 2, 3),
+	)
+	params := s.Params()
+	params[2].Priors = []float64{1, 0, 0}
+	space, err := param.NewSpace(params...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(space, benchEval(space), Options{
+		Objectives:    2,
+		RandomSamples: 60,
+		MaxIterations: 1,
+		MaxBatch:      20,
+		Seed:          7,
+		Sampler:       PriorSampler{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, smp := range res.Samples {
+		if !smp.ActiveLearning && smp.Config[2] != 1 {
+			t.Fatalf("bootstrap drew c=%v despite a zero prior", smp.Config[2])
+		}
+	}
+}
+
+// nanBelt wraps an evaluator with a hidden validity rule the space's
+// predicate does not know: configurations with a+b in (3, 4] fail at
+// measurement time and come back as NaN.
+func nanBelt(inner Evaluator) Evaluator {
+	return EvaluatorFunc(func(cfg param.Config) []float64 {
+		if s := cfg[0] + cfg[1]; s > 3 && s <= 4 {
+			return []float64{math.NaN(), math.NaN()}
+		}
+		return inner.Evaluate(cfg)
+	})
+}
+
+// TestFeasibilityStrategySegregatesInvalid runs the feasibility modeler
+// against an evaluator with a hidden infeasible belt: NaN measurements must
+// land in Result.Invalid (never in Samples or the fronts), and the run must
+// still converge on the valid region.
+func TestFeasibilityStrategySegregatesInvalid(t *testing.T) {
+	space := benchSpace(t)
+	res, err := Run(space, nanBelt(benchEval(space)), Options{
+		Objectives:    2,
+		RandomSamples: 60,
+		MaxIterations: 3,
+		MaxBatch:      40,
+		Seed:          11,
+		Modeler:       FeasibilityModeler{Probes: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Invalid) == 0 {
+		t.Fatal("the NaN belt produced no invalid samples — the test lost its teeth")
+	}
+	for _, smp := range res.Samples {
+		if slices.ContainsFunc(smp.Objs, math.IsNaN) {
+			t.Fatalf("NaN objectives leaked into Samples at index %d", smp.Index)
+		}
+	}
+	for _, smp := range res.Invalid {
+		if !slices.ContainsFunc(smp.Objs, math.IsNaN) {
+			t.Fatalf("valid measurement misfiled into Invalid at index %d", smp.Index)
+		}
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("no front over the valid region")
+	}
+	for _, p := range res.Front {
+		if slices.ContainsFunc(p.Objs, math.IsNaN) {
+			t.Fatalf("front carries a NaN point (index %d)", p.ID)
+		}
+	}
+	// An invalid index must never be measured twice.
+	seen := make(map[int64]int)
+	for _, smp := range res.Invalid {
+		seen[smp.Index]++
+		if seen[smp.Index] > 1 {
+			t.Fatalf("index %d measured invalid %d times", smp.Index, seen[smp.Index])
+		}
+		if _, ok := res.ByIndex(smp.Index); ok {
+			t.Fatalf("index %d is in both Samples and Invalid", smp.Index)
+		}
+	}
+}
+
+// TestDefaultStrategyIgnoresNaN pins the compatibility contract: without a
+// feasibility-aware modeler, NaN objectives flow into Samples exactly as the
+// engine always let them — Result.Invalid stays empty.
+func TestDefaultStrategyIgnoresNaN(t *testing.T) {
+	space := benchSpace(t)
+	res, err := Run(space, nanBelt(benchEval(space)), Options{
+		Objectives:    2,
+		RandomSamples: 60,
+		MaxIterations: 1,
+		MaxBatch:      20,
+		Seed:          11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Invalid) != 0 {
+		t.Fatalf("default strategy filed %d samples as invalid", len(res.Invalid))
+	}
+	sawNaN := false
+	for _, smp := range res.Samples {
+		if slices.ContainsFunc(smp.Objs, math.IsNaN) {
+			sawNaN = true
+			break
+		}
+	}
+	if !sawNaN {
+		t.Fatal("expected NaN measurements among the bootstrap samples")
+	}
+}
+
+// TestSelectorsNeverEmitInfeasible is the constrained-run regression test of
+// the pipeline: on a space with a declared predicate, no selector — old or
+// new, with or without the feasibility classifier, on enumerable and
+// subsampled pools — may ever hand an infeasible configuration to the
+// evaluator.
+func TestSelectorsNeverEmitInfeasible(t *testing.T) {
+	cases := []struct {
+		name     string
+		selector Selector
+		modeler  Modeler
+	}{
+		{"even-thin", EvenThinSelector{}, nil},
+		{"acquisition", AcquisitionSelector{}, nil},
+		{"even-thin-feasibility", EvenThinSelector{}, FeasibilityModeler{Probes: 64}},
+		{"acquisition-feasibility", AcquisitionSelector{}, FeasibilityModeler{Probes: 64}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, poolCap := range []int{0, 200} {
+				space := constrainedSpace(t)
+				checked := 0
+				guard := EvaluatorFunc(func(cfg param.Config) []float64 {
+					if !space.Feasible(cfg) {
+						t.Errorf("poolCap=%d: evaluator handed infeasible config %v", poolCap, cfg)
+					}
+					checked++
+					return benchEval(space).Evaluate(cfg)
+				})
+				res, err := Run(space, guard, Options{
+					Objectives:    2,
+					RandomSamples: 40,
+					MaxIterations: 3,
+					MaxBatch:      30,
+					PoolCap:       poolCap,
+					Seed:          9,
+					Selector:      tc.selector,
+					Modeler:       tc.modeler,
+					Workers:       1, // serialize so `checked` needs no lock
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if checked == 0 || len(res.Samples) == 0 {
+					t.Fatalf("poolCap=%d: nothing evaluated", poolCap)
+				}
+			}
+		})
+	}
+}
+
+func selPoint(id int64, objs ...float64) pareto.Point { return pareto.Point{ID: id, Objs: objs} }
+
+// frontCands is a strictly front-ordered candidate set (ascending obj0,
+// descending obj1) for selector unit tests.
+func frontCands() []pareto.Point {
+	return []pareto.Point{
+		selPoint(10, 0, 10),
+		selPoint(11, 1, 6),
+		selPoint(12, 2, 5.5), // tiny exclusive area: crowded between 11 and 13
+		selPoint(13, 3, 5),
+		selPoint(14, 9, 0),
+	}
+}
+
+func TestAcquisitionSelectorUnderBudgetTakesAll(t *testing.T) {
+	got := AcquisitionSelector{}.Select(Selection{Candidates: frontCands(), MaxBatch: 5})
+	want := []int64{10, 11, 12, 13, 14}
+	if !slices.Equal(got, want) {
+		t.Fatalf("Select = %v, want all of %v", got, want)
+	}
+}
+
+func TestAcquisitionSelectorRanksByContribution(t *testing.T) {
+	got := AcquisitionSelector{}.Select(Selection{Candidates: frontCands(), MaxBatch: 3})
+	if len(got) != 3 {
+		t.Fatalf("Select returned %d ids, want 3", len(got))
+	}
+	// The crowded point 12 has the smallest exclusive contribution; the
+	// extremes (10, 14) dominate the scores. Output stays front-ordered.
+	if slices.Contains(got, 12) {
+		t.Fatalf("Select = %v kept the lowest-contribution candidate", got)
+	}
+	if !slices.IsSorted(got) {
+		t.Fatalf("Select = %v is not in front order", got)
+	}
+	// Determinism: same input, same output.
+	again := AcquisitionSelector{}.Select(Selection{Candidates: frontCands(), MaxBatch: 3})
+	if !slices.Equal(got, again) {
+		t.Fatalf("Select is not deterministic: %v vs %v", got, again)
+	}
+}
+
+func TestAcquisitionSelectorFeasibilityDownweights(t *testing.T) {
+	// Candidate 14 owns the largest corner area but is predicted almost
+	// surely infeasible — the feasibility weight must push it out.
+	feas := []float64{1, 1, 0.9, 1, 0}
+	got := AcquisitionSelector{}.Select(Selection{
+		Candidates:  frontCands(),
+		Feasibility: feas,
+		MaxBatch:    3,
+	})
+	if slices.Contains(got, 14) {
+		t.Fatalf("Select = %v kept a zero-feasibility candidate over viable ones", got)
+	}
+}
+
+func TestAcquisitionSelectorCrowdingForThreeObjectives(t *testing.T) {
+	cands := []pareto.Point{
+		selPoint(1, 0, 5, 5),
+		selPoint(2, 5, 0, 5),
+		selPoint(3, 5, 5, 0),
+		selPoint(4, 2.5, 2.5, 4.9), // interior: finite crowding distance
+	}
+	got := AcquisitionSelector{}.Select(Selection{Candidates: cands, MaxBatch: 3})
+	want := []int64{1, 2, 3} // the boundary points score +Inf per objective
+	if !slices.Equal(got, want) {
+		t.Fatalf("Select = %v, want the boundary candidates %v", got, want)
+	}
+}
+
+func TestEvenThinSelectorMatchesThin(t *testing.T) {
+	cands := frontCands()
+	got := EvenThinSelector{}.Select(Selection{Candidates: cands, MaxBatch: 2})
+	want := thin(pareto.IDs(cands), 2)
+	if !slices.Equal(got, want) {
+		t.Fatalf("Select = %v, want thin's %v", got, want)
+	}
+	all := EvenThinSelector{}.Select(Selection{Candidates: cands, MaxBatch: 10})
+	if !slices.Equal(all, pareto.IDs(cands)) {
+		t.Fatalf("under budget Select = %v, want every candidate", all)
+	}
+}
+
+// TestThinEdgeCases covers the guards and the stride rounding: n ≤ 0, n ≥
+// len, and large len/n ratios where naive rounding could emit duplicates or
+// run past the slice.
+func TestThinEdgeCases(t *testing.T) {
+	idxs := make([]int64, 1000)
+	for i := range idxs {
+		idxs[i] = int64(i)
+	}
+	if got := thin(idxs, 0); got != nil {
+		t.Fatalf("thin(_, 0) = %v, want nil", got)
+	}
+	if got := thin(idxs, -5); got != nil {
+		t.Fatalf("thin(_, -5) = %v, want nil", got)
+	}
+	if got := thin(idxs, len(idxs)); len(got) != len(idxs) {
+		t.Fatalf("thin(_, len) dropped entries: %d", len(got))
+	}
+	if got := thin(idxs, len(idxs)+1); len(got) != len(idxs) {
+		t.Fatalf("thin(_, len+1) changed the slice: %d", len(got))
+	}
+	for _, n := range []int{1, 2, 3, 7, 333, 999} {
+		got := thin(idxs, n)
+		if len(got) != n {
+			t.Fatalf("thin(1000, %d) returned %d entries", n, len(got))
+		}
+		if got[0] != idxs[0] {
+			t.Fatalf("thin(1000, %d) dropped the front's first point", n)
+		}
+		if !slices.IsSorted(got) {
+			t.Fatalf("thin(1000, %d) broke front order", n)
+		}
+		seen := make(map[int64]bool, n)
+		for _, id := range got {
+			if seen[id] {
+				t.Fatalf("thin(1000, %d) emitted duplicate %d", n, id)
+			}
+			seen[id] = true
+		}
+	}
+	// Step rounding at an awkward ratio: 10 from 13 must stay in bounds and
+	// unique (step 1.3 exercises the float stride).
+	short := idxs[:13]
+	got := thin(short, 10)
+	if len(got) != 10 {
+		t.Fatalf("thin(13, 10) returned %d entries", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("thin(13, 10) not strictly increasing: %v", got)
+		}
+	}
+}
+
+// TestHypervolumeStatPopulated checks the per-iteration hypervolume signal:
+// defined from the bootstrap on (2-objective runs always measure a spread),
+// and carried on every AL round event.
+func TestHypervolumeStatPopulated(t *testing.T) {
+	space := benchSpace(t)
+	var events []IterationStats
+	_, err := Run(space, benchEval(space), Options{
+		Objectives:    2,
+		RandomSamples: 40,
+		MaxIterations: 2,
+		MaxBatch:      30,
+		Seed:          13,
+		OnIteration:   func(s IterationStats) { events = append(events, s) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < 2 {
+		t.Fatalf("got %d events", len(events))
+	}
+	for i, ev := range events {
+		if math.IsNaN(ev.Hypervolume) || ev.Hypervolume <= 0 {
+			t.Fatalf("event %d hypervolume = %v, want > 0", i, ev.Hypervolume)
+		}
+	}
+}
+
+func TestStrategyResolution(t *testing.T) {
+	for _, name := range []string{"", "uniform", "prior"} {
+		if _, err := NewSampler(name); err != nil {
+			t.Fatalf("NewSampler(%q): %v", name, err)
+		}
+	}
+	if _, err := NewSampler("bogus"); err == nil {
+		t.Fatal("NewSampler accepted an unknown name")
+	}
+	for _, name := range []string{"", "even-thin", "acquisition"} {
+		if _, err := NewSelector(name); err != nil {
+			t.Fatalf("NewSelector(%q): %v", name, err)
+		}
+	}
+	if _, err := NewSelector("bogus"); err == nil {
+		t.Fatal("NewSelector accepted an unknown name")
+	}
+	if _, ok := NewModeler(true).(FeasibilityModeler); !ok {
+		t.Fatal("NewModeler(true) is not a FeasibilityModeler")
+	}
+	if _, ok := NewModeler(false).(ForestModeler); !ok {
+		t.Fatal("NewModeler(false) is not a ForestModeler")
+	}
+}
+
+// TestRunFingerprintEncodesStrategy: fingerprints gate journal resume, and
+// strategies are never replay-compatible — so the default fingerprint must
+// match an explicitly wired default, and differ from every non-default
+// stage.
+func TestRunFingerprintEncodesStrategy(t *testing.T) {
+	space := benchSpace(t)
+	base := Options{Objectives: 2, Seed: 1}
+	def := RunFingerprint(space, base)
+	if !strings.Contains(def, "sampler=uniform;modeler=forest;selector=even-thin") {
+		t.Fatalf("default fingerprint missing strategy identity: %s", def)
+	}
+	explicit := base
+	explicit.Sampler = UniformSampler{}
+	explicit.Modeler = ForestModeler{}
+	explicit.Selector = EvenThinSelector{}
+	if RunFingerprint(space, explicit) != def {
+		t.Fatal("explicit defaults changed the fingerprint")
+	}
+	variants := []Options{
+		{Objectives: 2, Seed: 1, Sampler: PriorSampler{}},
+		{Objectives: 2, Seed: 1, Modeler: FeasibilityModeler{}},
+		{Objectives: 2, Seed: 1, Selector: AcquisitionSelector{}},
+	}
+	for i, v := range variants {
+		if RunFingerprint(space, v) == def {
+			t.Fatalf("variant %d has the default fingerprint", i)
+		}
+	}
+}

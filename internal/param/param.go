@@ -60,6 +60,12 @@ type Parameter struct {
 	// (e.g. the ICP convergence threshold); the feature encoding uses
 	// log10(value) so tree splits partition the scale sensibly.
 	LogScale bool
+	// Priors, when non-nil, carries one non-negative weight per value:
+	// the relative probability a prior-guided sampler draws that level.
+	// Weights need not sum to 1 (they are normalized per draw). Nil means
+	// uniform. Uniform sampling (SampleIndices) ignores Priors entirely,
+	// so declaring priors never perturbs a default-strategy run.
+	Priors []float64
 }
 
 // Levels returns the number of admissible values.
@@ -156,6 +162,21 @@ func NewSpace(params ...Parameter) (*Space, error) {
 			return nil, fmt.Errorf("param: duplicate parameter %q", p.Name)
 		}
 		s.byName[p.Name] = i
+		if p.Priors != nil {
+			if len(p.Priors) != len(p.Values) {
+				return nil, fmt.Errorf("param: %q has %d priors for %d values", p.Name, len(p.Priors), len(p.Values))
+			}
+			sum := 0.0
+			for _, w := range p.Priors {
+				if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+					return nil, fmt.Errorf("param: %q has an invalid prior weight %v", p.Name, w)
+				}
+				sum += w
+			}
+			if sum <= 0 {
+				return nil, fmt.Errorf("param: %q has all-zero prior weights", p.Name)
+			}
+		}
 		n := int64(len(p.Values))
 		if s.size > math.MaxInt64/n {
 			return nil, errors.New("param: space size overflows int64")

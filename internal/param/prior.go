@@ -1,0 +1,160 @@
+package param
+
+import (
+	"cmp"
+	"math"
+	"math/rand"
+	"slices"
+	"sort"
+)
+
+// This file implements prior-guided sampling: drawing configuration
+// indices from the product of per-parameter prior distributions instead of
+// uniformly. Priors encode domain knowledge declared in a problem spec
+// ("high optimization levels are usually better; start there") — the
+// MASCOTS 2019 follow-up to the paper shows that seeding the search this
+// way reaches good fronts in fewer evaluations. Uniform sampling
+// (SampleIndices) never consults priors, so a space that declares them
+// still reproduces default-strategy runs byte-identically.
+
+// HasPriors reports whether any parameter declares prior weights.
+func (s *Space) HasPriors() bool {
+	for _, p := range s.params {
+		if p.Priors != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// SampleIndicesWeighted draws up to n distinct feasible configuration
+// indices from the product of the per-parameter prior distributions
+// (parameters without priors contribute a uniform factor). Zero-weight
+// levels are never drawn. The result is in draw order. Like
+// SampleIndices, a heavily constrained space can yield fewer than n
+// indices; unlike it, so can a space whose positive-prior feasible subset
+// is smaller than n. Without any priors it delegates to SampleIndices.
+//
+// The draw is rejection sampling over independent per-parameter level
+// draws — exact for the product distribution — with a dense fallback when
+// the feasible (or positive-weight) fraction is too small to hit by
+// rejection: every remaining admissible index is enumerated and sampled
+// without replacement with probability proportional to its product weight
+// (Efraimidis–Spirakis exponential keys), so the draw terminates and stays
+// faithful to the priors no matter how tight the constraint.
+func (s *Space) SampleIndicesWeighted(rng *rand.Rand, n int) []int64 {
+	if !s.HasPriors() {
+		return s.SampleIndices(rng, n)
+	}
+	if n <= 0 {
+		return nil
+	}
+	cums, totals := s.priorCums()
+	cfg := make(Config, len(s.params))
+	feasible := func(idx int64) bool {
+		s.AtIndexInto(idx, cfg)
+		return s.Feasible(cfg)
+	}
+	seen := make(map[int64]struct{}, n)
+	out := make([]int64, 0, n)
+	// Same attempt budget as the constrained uniform sampler: ~64 draws per
+	// requested sample before the dense fallback takes over.
+	for attempts := 64*n + 1024; attempts > 0 && len(out) < n; attempts-- {
+		idx := s.drawWeighted(rng, cums, totals)
+		if _, dup := seen[idx]; dup {
+			continue
+		}
+		if !feasible(idx) {
+			continue
+		}
+		seen[idx] = struct{}{}
+		out = append(out, idx)
+	}
+	if len(out) < n {
+		type cand struct {
+			idx int64
+			key float64
+		}
+		var rest []cand
+		for idx := int64(0); idx < s.size; idx++ {
+			if _, dup := seen[idx]; dup {
+				continue
+			}
+			w := s.indexWeight(idx)
+			if w <= 0 || !feasible(idx) {
+				continue
+			}
+			rest = append(rest, cand{idx, math.Pow(rng.Float64(), 1/w)})
+		}
+		// Largest key first ⇒ inclusion probability ∝ weight; index breaks
+		// exact key ties so the order is a total one.
+		slices.SortFunc(rest, func(a, b cand) int {
+			if a.key != b.key {
+				return cmp.Compare(b.key, a.key)
+			}
+			return cmp.Compare(a.idx, b.idx)
+		})
+		for _, c := range rest {
+			if len(out) >= n {
+				break
+			}
+			out = append(out, c.idx)
+		}
+	}
+	return out
+}
+
+// priorCums returns each parameter's cumulative weight vector and its
+// total (uniform 1-per-level for parameters without priors).
+func (s *Space) priorCums() (cums [][]float64, totals []float64) {
+	cums = make([][]float64, len(s.params))
+	totals = make([]float64, len(s.params))
+	for i, p := range s.params {
+		cum := make([]float64, len(p.Values))
+		acc := 0.0
+		for j := range p.Values {
+			w := 1.0
+			if p.Priors != nil {
+				w = p.Priors[j]
+			}
+			acc += w
+			cum[j] = acc
+		}
+		cums[i] = cum
+		totals[i] = acc
+	}
+	return cums, totals
+}
+
+// drawWeighted draws one index with each parameter's level drawn
+// independently from its prior (parameter 0 is the most significant
+// mixed-radix digit, matching AtIndex).
+func (s *Space) drawWeighted(rng *rand.Rand, cums [][]float64, totals []float64) int64 {
+	var idx int64
+	for i, p := range s.params {
+		u := rng.Float64() * totals[i]
+		// Smallest level whose cumulative weight strictly exceeds u: a
+		// zero-weight level spans an empty interval and is never selected.
+		level := sort.Search(len(cums[i]), func(j int) bool { return cums[i][j] > u })
+		if level == len(cums[i]) {
+			level = len(cums[i]) - 1 // u landed on the total (rounding)
+		}
+		idx = idx*int64(len(p.Values)) + int64(level)
+	}
+	return idx
+}
+
+// indexWeight returns the (unnormalized) product prior weight of idx.
+func (s *Space) indexWeight(idx int64) float64 {
+	w := 1.0
+	for i := len(s.params) - 1; i >= 0; i-- {
+		p := s.params[i]
+		nv := int64(len(p.Values))
+		level := idx % nv
+		idx /= nv
+		if p.Priors != nil {
+			w *= p.Priors[level]
+		}
+	}
+	return w
+}

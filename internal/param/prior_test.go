@@ -1,0 +1,115 @@
+package param
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNewSpacePriorValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		priors []float64
+	}{
+		{"wrong length", []float64{1, 2}},
+		{"negative weight", []float64{1, -1, 1}},
+		{"nan weight", []float64{1, nan(), 1}},
+		{"all zero", []float64{0, 0, 0}},
+	}
+	for _, tc := range cases {
+		p := Levels("a", 1, 2, 3)
+		p.Priors = tc.priors
+		if _, err := NewSpace(p); err == nil {
+			t.Errorf("%s: NewSpace accepted priors %v", tc.name, tc.priors)
+		}
+	}
+	ok := Levels("a", 1, 2, 3)
+	ok.Priors = []float64{0, 1, 2}
+	if _, err := NewSpace(ok); err != nil {
+		t.Fatalf("valid priors rejected: %v", err)
+	}
+}
+
+func nan() float64 { var z float64; return z / z }
+
+func TestSampleIndicesWeightedFollowsPriors(t *testing.T) {
+	a := Levels("a", 0, 1, 2, 3)
+	a.Priors = []float64{0, 0, 1, 9} // level 3 nine times likelier than 2, 0/1 never
+	b := Levels("b", 0, 1)
+	s := MustSpace(a, b)
+
+	rng := rand.New(rand.NewSource(7))
+	counts := make(map[int64]int)
+	const draws = 4000
+	for i := 0; i < draws; i++ {
+		got := s.SampleIndicesWeighted(rng, 1)
+		if len(got) != 1 {
+			t.Fatalf("draw %d: got %d indices", i, len(got))
+		}
+		counts[got[0]/2]++ // collapse the b digit; key by a-level
+	}
+	if counts[0] != 0 || counts[1] != 0 {
+		t.Fatalf("zero-prior levels were drawn: %v", counts)
+	}
+	ratio := float64(counts[3]) / float64(counts[2])
+	if ratio < 6 || ratio > 13 {
+		t.Fatalf("level ratio %v, want ≈9 (counts %v)", ratio, counts)
+	}
+}
+
+func TestSampleIndicesWeightedDistinctAndFeasible(t *testing.T) {
+	a := Levels("a", 0, 1, 2, 3, 4)
+	a.Priors = []float64{5, 1, 1, 1, 1}
+	b := Levels("b", 0, 1, 2, 3, 4)
+	s := MustSpace(a, b)
+	s.SetConstraint(func(cfg Config) bool { return cfg[0] < cfg[1] }) // 10 of 25 feasible
+
+	rng := rand.New(rand.NewSource(3))
+	got := s.SampleIndicesWeighted(rng, 25)
+	if len(got) != 10 {
+		t.Fatalf("got %d indices, want the 10 feasible ones", len(got))
+	}
+	seen := make(map[int64]struct{})
+	cfg := make(Config, s.Dim())
+	for _, idx := range got {
+		if _, dup := seen[idx]; dup {
+			t.Fatalf("duplicate index %d", idx)
+		}
+		seen[idx] = struct{}{}
+		s.AtIndexInto(idx, cfg)
+		if !s.Feasible(cfg) {
+			t.Fatalf("infeasible index %d drawn", idx)
+		}
+	}
+}
+
+func TestSampleIndicesWeightedZeroPriorExcludedInFallback(t *testing.T) {
+	a := Levels("a", 0, 1, 2)
+	a.Priors = []float64{0, 1, 1}
+	s := MustSpace(a)
+	rng := rand.New(rand.NewSource(1))
+	got := s.SampleIndicesWeighted(rng, 3)
+	if len(got) != 2 {
+		t.Fatalf("got %v, want the 2 positive-weight indices", got)
+	}
+	for _, idx := range got {
+		if idx == 0 {
+			t.Fatalf("zero-prior index drawn: %v", got)
+		}
+	}
+}
+
+func TestSampleIndicesWeightedNoPriorsDelegatesUniform(t *testing.T) {
+	s := MustSpace(Levels("a", 0, 1, 2), Levels("b", 0, 1, 2))
+	r1 := rand.New(rand.NewSource(11))
+	r2 := rand.New(rand.NewSource(11))
+	w := s.SampleIndicesWeighted(r1, 4)
+	u := s.SampleIndices(r2, 4)
+	if len(w) != len(u) {
+		t.Fatalf("lengths differ: %d vs %d", len(w), len(u))
+	}
+	for i := range w {
+		if w[i] != u[i] {
+			t.Fatalf("draw %d differs: %d vs %d", i, w[i], u[i])
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package pareto
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func pt3(id int64, objs ...float64) Point { return Point{ID: id, Objs: objs} }
+
+func TestHypervolumeMatches2D(t *testing.T) {
+	fronts := [][]Point{
+		{pt(0, 1, 1)},
+		{pt(0, 1, 2), pt(1, 2, 1)},
+		{pt(0, 4, 4)},
+		{pt(0, 1, 2), pt(1, 2, 1), pt(2, 1.5, 1.5), pt(3, 0.5, 2.9)},
+	}
+	for _, f := range fronts {
+		want := Hypervolume2D(f, [2]float64{3, 3})
+		got := Hypervolume(f, []float64{3, 3})
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Hypervolume = %v, Hypervolume2D = %v for %v", got, want, f)
+		}
+	}
+}
+
+func TestHypervolume1D(t *testing.T) {
+	f := []Point{pt3(0, 4), pt3(1, 2.5), pt3(2, 9)}
+	if hv := Hypervolume(f, []float64{5}); math.Abs(hv-2.5) > 1e-12 {
+		t.Fatalf("1-D hv = %v, want 2.5", hv)
+	}
+	if hv := Hypervolume([]Point{pt3(0, 7)}, []float64{5}); hv != 0 {
+		t.Fatalf("point beyond ref: hv = %v, want 0", hv)
+	}
+}
+
+func TestHypervolume3DKnownVolumes(t *testing.T) {
+	ref := []float64{3, 3, 3}
+	// Single point (1,1,1): cube 2³ = 8.
+	if hv := Hypervolume([]Point{pt3(0, 1, 1, 1)}, ref); math.Abs(hv-8) > 1e-12 {
+		t.Fatalf("single-point hv = %v, want 8", hv)
+	}
+	// Two points whose dominated boxes overlap:
+	// (1,2,2) box 2·1·1 = 2, (2,1,1) box 1·2·2 = 4, overlap 1·1·1 = 1 → 5.
+	f := []Point{pt3(0, 1, 2, 2), pt3(1, 2, 1, 1)}
+	if hv := Hypervolume(f, ref); math.Abs(hv-5) > 1e-12 {
+		t.Fatalf("two-point hv = %v, want 5", hv)
+	}
+	// A dominated extra point must change nothing.
+	withDominated := append(append([]Point(nil), f...), pt3(2, 2.5, 2.5, 2.5))
+	if hv := Hypervolume(withDominated, ref); math.Abs(hv-5) > 1e-12 {
+		t.Fatalf("dominated point changed hv: %v", hv)
+	}
+}
+
+// TestHypervolumeMonotoneUnderImprovementKD mirrors the 2-D monotonicity
+// test for the k-objective implementation: adding a non-dominated point
+// strictly grows the indicator, for k = 2 and k = 3.
+func TestHypervolumeMonotoneUnderImprovementKD(t *testing.T) {
+	ref2 := []float64{10, 10}
+	base2 := []Point{pt(0, 4, 4)}
+	better2 := []Point{pt(0, 4, 4), pt(1, 2, 6)}
+	if Hypervolume(better2, ref2) <= Hypervolume(base2, ref2) {
+		t.Fatal("2-D: adding a non-dominated point must increase hypervolume")
+	}
+
+	ref3 := []float64{10, 10, 10}
+	base3 := []Point{pt3(0, 4, 4, 4)}
+	better3 := []Point{pt3(0, 4, 4, 4), pt3(1, 2, 6, 5)}
+	if Hypervolume(better3, ref3) <= Hypervolume(base3, ref3) {
+		t.Fatal("3-D: adding a non-dominated point must increase hypervolume")
+	}
+}
+
+// TestHypervolume3DMonotoneRandom fuzzes monotonicity: growing a random
+// 3-D point set never decreases the indicator.
+func TestHypervolume3DMonotoneRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ref := []float64{1, 1, 1}
+	for trial := 0; trial < 20; trial++ {
+		var pts []Point
+		prev := 0.0
+		for i := 0; i < 12; i++ {
+			pts = append(pts, pt3(int64(i), rng.Float64(), rng.Float64(), rng.Float64()))
+			hv := Hypervolume(pts, ref)
+			if hv < prev-1e-12 {
+				t.Fatalf("trial %d: hv decreased from %v to %v after adding a point", trial, prev, hv)
+			}
+			if hv > 1+1e-12 {
+				t.Fatalf("trial %d: hv %v exceeds the reference box volume", trial, hv)
+			}
+			prev = hv
+		}
+	}
+}

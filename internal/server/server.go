@@ -65,6 +65,25 @@ type Problem struct {
 	Objectives []string
 }
 
+// StrategyRequest selects the search-strategy pipeline for one run. The
+// zero value is the paper-faithful default on every axis — uniform
+// sampling, plain per-objective forests, even thinning — and produces
+// byte-identical results to a request with no strategy block at all.
+type StrategyRequest struct {
+	// Sampler names the bootstrap/pool sampler: "uniform" (default) or
+	// "prior", which honors the per-parameter prior weights declared in
+	// the problem spec (priorless parameters stay uniform).
+	Sampler string `json:"sampler,omitempty"`
+	// Feasibility enables the feasibility-classifier modeler: a forest
+	// classifier trained on valid/invalid outcomes filters candidates
+	// predicted infeasible before batch selection.
+	Feasibility bool `json:"feasibility,omitempty"`
+	// Selector names the batch selector: "even-thin" (default) or
+	// "acquisition", which ranks candidates by front contribution and
+	// feasibility probability instead of thinning evenly.
+	Selector string `json:"selector,omitempty"`
+}
+
 // RunRequest is the POST /runs body. Zero-valued budget fields select the
 // engine defaults.
 type RunRequest struct {
@@ -84,6 +103,9 @@ type RunRequest struct {
 	// NoCache opts this session out of the problem's shared memo-cache
 	// (e.g. when the evaluator is noisy and fresh measurements matter).
 	NoCache bool `json:"no_cache,omitempty"`
+	// Strategy selects the search-strategy pipeline; the zero value is the
+	// default pipeline and changes nothing.
+	Strategy StrategyRequest `json:"strategy"`
 }
 
 // ErrUnknownProblem reports a RunRequest naming an unregistered problem.
@@ -127,7 +149,38 @@ func (r RunRequest) validate() error {
 			return fmt.Errorf("%s %d exceeds the limit %d", f.name, f.v, f.max)
 		}
 	}
+	if _, err := core.NewSampler(r.Strategy.Sampler); err != nil {
+		return err
+	}
+	if _, err := core.NewSelector(r.Strategy.Selector); err != nil {
+		return err
+	}
 	return nil
+}
+
+// StrategyInfo is the resolved search-strategy pipeline echoed in
+// RunStatus: the stage names the engine actually ran with, defaults
+// filled in.
+type StrategyInfo struct {
+	Sampler  string `json:"sampler"`
+	Modeler  string `json:"modeler"`
+	Selector string `json:"selector"`
+}
+
+// resolveStrategy maps a request's strategy block to the stage names the
+// engine resolves it to (empty = default).
+func resolveStrategy(req StrategyRequest) StrategyInfo {
+	info := StrategyInfo{Sampler: req.Sampler, Modeler: "forest", Selector: req.Selector}
+	if info.Sampler == "" {
+		info.Sampler = "uniform"
+	}
+	if req.Feasibility {
+		info.Modeler = "feasibility"
+	}
+	if info.Selector == "" {
+		info.Selector = "even-thin"
+	}
+	return info
 }
 
 // Config bounds a long-lived manager's memory. The zero value retains
@@ -401,6 +454,13 @@ func (m *Manager) buildOpts(p Problem, req RunRequest, cache *core.EvalCache, s 
 		Cache:         cache,
 		OnIteration:   func(st core.IterationStats) { s.publish(toEvent(st)) },
 	}
+	// validate() already resolved the strategy names, so the errors here
+	// are impossible; the explicit defaults are byte-identical to leaving
+	// the fields nil, and the resume path rebuilds the exact same pipeline
+	// from the persisted request.
+	opts.Sampler, _ = core.NewSampler(req.Strategy.Sampler)
+	opts.Modeler = core.NewModeler(req.Strategy.Feasibility)
+	opts.Selector, _ = core.NewSelector(req.Strategy.Selector)
 	opts.Forest.Trees = req.Trees
 	if m.cfg.EvalPool != nil {
 		// Remote evaluation: the batch backend replaces the in-process

@@ -68,6 +68,11 @@ type IterationEvent struct {
 	// CacheHits and CacheMisses count this round's memo-cache lookups.
 	CacheHits   int `json:"cache_hits"`
 	CacheMisses int `json:"cache_misses"`
+	// Hypervolume is the measured front's hypervolume after this round
+	// (reference point: per-objective nadir padded by 10% of the observed
+	// range). It marshals as null while undefined — before any valid
+	// measurement, or on a degenerate single-point range.
+	Hypervolume jsonFloat `json:"hypervolume"`
 	// FitMS, EncodeMS, PredictMS, and EvalMS are the per-phase wall-clock
 	// timings described above.
 	FitMS     float64 `json:"fit_ms"`
@@ -99,6 +104,35 @@ func (v jsonFloats) MarshalJSON() ([]byte, error) {
 		buf = strconv.AppendFloat(buf, f, 'g', -1, 64)
 	}
 	return append(buf, ']'), nil
+}
+
+// jsonFloat is the scalar sibling of jsonFloats: a float64 that marshals
+// NaN/±Inf as null, for per-event values (like the hypervolume) that are
+// legitimately undefined early in a run.
+type jsonFloat float64
+
+// MarshalJSON renders the value, with null in place of NaN/±Inf.
+func (v jsonFloat) MarshalJSON() ([]byte, error) {
+	f := float64(v)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return []byte("null"), nil
+	}
+	return strconv.AppendFloat(nil, f, 'g', -1, 64), nil
+}
+
+// UnmarshalJSON accepts the null MarshalJSON writes, mapping it back to
+// NaN so a round-trip preserves "undefined".
+func (v *jsonFloat) UnmarshalJSON(data []byte) error {
+	var p *float64
+	if err := json.Unmarshal(data, &p); err != nil {
+		return err
+	}
+	if p == nil {
+		*v = jsonFloat(math.NaN())
+	} else {
+		*v = jsonFloat(*p)
+	}
+	return nil
 }
 
 // UnmarshalJSON accepts the null entries MarshalJSON writes, mapping them
@@ -138,6 +172,9 @@ type RunStatus struct {
 	CacheMisses int `json:"cache_misses"`
 	// Error carries the failure reason when State is "failed".
 	Error string `json:"error,omitempty"`
+	// Strategy echoes the resolved search-strategy pipeline this run
+	// executes with (request defaults filled in).
+	Strategy StrategyInfo `json:"strategy"`
 	// Iterations is the full progress-event history, bootstrap first.
 	Iterations []IterationEvent `json:"iterations"`
 }
@@ -189,6 +226,7 @@ func toEvent(s core.IterationStats) IterationEvent {
 		OOBSamples:         s.OOBSamples,
 		CacheHits:          s.CacheHits,
 		CacheMisses:        s.CacheMisses,
+		Hypervolume:        jsonFloat(s.Hypervolume),
 		FitMS:              durationMS(s.FitTime),
 		EncodeMS:           durationMS(s.EncodeTime),
 		PredictMS:          durationMS(s.PredictTime),
@@ -328,10 +366,11 @@ func (s *session) status() RunStatus {
 		return s.stored.Status
 	}
 	st := RunStatus{
-		ID:      s.id,
-		Problem: s.problem.Name,
-		State:   s.state,
-		Created: s.created,
+		ID:       s.id,
+		Problem:  s.problem.Name,
+		State:    s.state,
+		Created:  s.created,
+		Strategy: resolveStrategy(s.req.Strategy),
 		// Never nil: before the first event this must marshal as [], not
 		// null, for strict clients.
 		Iterations: append(make([]IterationEvent, 0, len(s.events)), s.events...),

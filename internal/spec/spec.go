@@ -60,6 +60,13 @@ type Spec struct {
 //   - "grid": Points values evenly spaced over [Low, High].
 //   - "log-grid": Points values geometrically spaced over [Low, High];
 //     Low must be positive. Encoded as log10 for the forests.
+//
+// Priors, optional for every kind, carries one non-negative weight per
+// value (for "bool", two: weight of 0, weight of 1; for grid kinds, Points
+// entries in grid order): the relative probability the prior-guided sampler
+// draws that level. They declare where the spec author expects good
+// configurations; runs under the default uniform strategy ignore them
+// entirely, so adding priors never perturbs existing results.
 type ParamSpec struct {
 	Name   string    `json:"name"`
 	Kind   string    `json:"kind"`
@@ -67,6 +74,7 @@ type ParamSpec struct {
 	Low    float64   `json:"low,omitempty"`
 	High   float64   `json:"high,omitempty"`
 	Points int       `json:"points,omitempty"`
+	Priors []float64 `json:"priors,omitempty"`
 }
 
 // Constraint is one validity clause: Then must hold whenever If holds (or
@@ -239,23 +247,34 @@ func (p ParamSpec) build() (param.Parameter, error) {
 		}
 		return param.Grid(p.Name, p.Low, p.High, p.Points), nil
 	}
+	var built param.Parameter
+	var err error
 	switch p.Kind {
 	case "bool":
 		if len(p.Values) != 0 || p.Points != 0 || p.Low != 0 || p.High != 0 {
 			return param.Parameter{}, fmt.Errorf(`kind "bool" takes no values/low/high/points`)
 		}
-		return param.Bool(p.Name), nil
+		built = param.Bool(p.Name)
 	case "ordinal":
-		return listKind(param.Ordinal)
+		built, err = listKind(param.Ordinal)
 	case "categorical":
-		return listKind(param.Categorical)
+		built, err = listKind(param.Categorical)
 	case "grid":
-		return gridKind(false)
+		built, err = gridKind(false)
 	case "log-grid":
-		return gridKind(true)
+		built, err = gridKind(true)
 	default:
 		return param.Parameter{}, fmt.Errorf("unknown kind %q (want bool, ordinal, categorical, grid, or log-grid)", p.Kind)
 	}
+	if err != nil {
+		return param.Parameter{}, err
+	}
+	if p.Priors != nil {
+		// Weight-count and value checks happen in param.NewSpace, which
+		// knows the expanded grid length for every kind.
+		built.Priors = append([]float64(nil), p.Priors...)
+	}
+	return built, nil
 }
 
 // Binding is a parsed evaluator binding.

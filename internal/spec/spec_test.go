@@ -78,6 +78,9 @@ func TestParseErrors(t *testing.T) {
 		{"constraint no operator", `{"version":1,"name":"a","parameters":[{"name":"x","kind":"bool"}],"constraints":[{"then":"x"}],"objectives":["f"],"evaluator":"builtin:m"}`, "no operator"},
 		{"constraint double operator", `{"version":1,"name":"a","parameters":[{"name":"x","kind":"bool"}],"constraints":[{"then":"x < 1 < 2"}],"objectives":["f"],"evaluator":"builtin:m"}`, "operator"},
 		{"trailing content", goodSpec + `{"more": 1}`, "trailing content"},
+		{"priors wrong count", `{"version":1,"name":"a","parameters":[{"name":"x","kind":"ordinal","values":[1,2,3],"priors":[1,2]}],"objectives":["f"],"evaluator":"builtin:m"}`, "priors"},
+		{"priors negative", `{"version":1,"name":"a","parameters":[{"name":"x","kind":"bool","priors":[-1,2]}],"objectives":["f"],"evaluator":"builtin:m"}`, "prior weight"},
+		{"priors all zero", `{"version":1,"name":"a","parameters":[{"name":"x","kind":"grid","low":0,"high":1,"points":2,"priors":[0,0]}],"objectives":["f"],"evaluator":"builtin:m"}`, "all-zero"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -171,6 +174,59 @@ func TestMarshalRoundTripStable(t *testing.T) {
 	}
 	if string(m1) != string(m2) {
 		t.Fatalf("marshal not stable:\n%s\nvs\n%s", m1, m2)
+	}
+}
+
+// TestPriorsReachSpaceAndRoundTrip: declared priors must survive the
+// strict parse, land on the built space's parameters for weighted sampling,
+// and round-trip byte-stably through Marshal.
+func TestPriorsReachSpaceAndRoundTrip(t *testing.T) {
+	doc := `{
+  "version": 1,
+  "name": "with-priors",
+  "parameters": [
+    {"name": "x", "kind": "grid", "low": 0, "high": 4, "points": 5, "priors": [5, 2, 1, 1, 1]},
+    {"name": "flag", "kind": "bool", "priors": [1, 3]},
+    {"name": "lvl", "kind": "ordinal", "values": [1, 2, 3]}
+  ],
+  "objectives": ["f0"],
+  "evaluator": "builtin:m"
+}`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := s.Space()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !space.HasPriors() {
+		t.Fatal("priors did not reach the space")
+	}
+	params := space.Params()
+	if got := params[0].Priors; len(got) != 5 || got[0] != 5 {
+		t.Fatalf("x priors = %v", got)
+	}
+	if got := params[1].Priors; len(got) != 2 || got[1] != 3 {
+		t.Fatalf("flag priors = %v", got)
+	}
+	if params[2].Priors != nil {
+		t.Fatalf("lvl grew priors %v out of nowhere", params[2].Priors)
+	}
+	m1, err := s.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Parse(m1)
+	if err != nil {
+		t.Fatalf("re-parsing own output: %v", err)
+	}
+	m2, err := s2.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(m1) != string(m2) {
+		t.Fatalf("priors marshal not stable:\n%s\nvs\n%s", m1, m2)
 	}
 }
 

@@ -108,6 +108,17 @@ func NewExecEvaluator(command string, space *param.Space, objectives int) (*Exec
 	}, nil
 }
 
+// SetLogf routes the bridge's failure reports (dead subprocess, rejected
+// configuration) to logf instead of the process-global log.Printf. A nil
+// logf silences them — what a daemon running -validate or -quiet wants.
+// Call it before the first Evaluate; the bridge does not lock around it.
+func (e *ExecEvaluator) SetLogf(logf func(format string, args ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	e.logf = logf
+}
+
 // bridgeConfig names cfg's values for the wire.
 func bridgeConfig(names []string, cfg param.Config) BridgeConfig {
 	m := make(BridgeConfig, len(names))
@@ -241,6 +252,16 @@ func NewHTTPEvaluator(url string, space *param.Space, objectives int) *HTTPEvalu
 		client:     &http.Client{Timeout: httpBridgeTimeout},
 		logf:       log.Printf,
 	}
+}
+
+// SetLogf routes the bridge's failure reports (unreachable endpoint,
+// malformed reply) to logf instead of the process-global log.Printf. A nil
+// logf silences them. Call it before the first Evaluate.
+func (e *HTTPEvaluator) SetLogf(logf func(format string, args ...any)) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	e.logf = logf
 }
 
 // Evaluate implements core.Evaluator. It returns nil when the endpoint is

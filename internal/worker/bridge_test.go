@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/param"
@@ -135,6 +136,54 @@ func TestExecEvaluatorBadCommand(t *testing.T) {
 	e.logf = t.Logf
 	if objs := e.Evaluate(param.Config{0, 0}); objs != nil {
 		t.Fatalf("unstartable command returned %v, want nil", objs)
+	}
+}
+
+// TestBridgeSetLogf: failure chatter must go wherever SetLogf points —
+// and nowhere at all for SetLogf(nil), the -validate/-quiet contract.
+func TestBridgeSetLogf(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	capture := func(format string, args ...any) {
+		mu.Lock()
+		lines = append(lines, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	e, err := NewExecEvaluator("/definitely/not/a/binary", bridgeSpace(t), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.SetLogf(capture)
+	if objs := e.Evaluate(param.Config{0, 0}); objs != nil {
+		t.Fatalf("unstartable command returned %v", objs)
+	}
+	mu.Lock()
+	captured := len(lines)
+	mu.Unlock()
+	if captured == 0 {
+		t.Fatal("SetLogf sink saw no failure report")
+	}
+
+	// nil silences: the evaluation still fails, with no panic and no output.
+	e.SetLogf(nil)
+	if objs := e.Evaluate(param.Config{0, 0}); objs != nil {
+		t.Fatalf("silenced bridge returned %v", objs)
+	}
+
+	h := NewHTTPEvaluator("http://127.0.0.1:1/eval", bridgeSpace(t), 2)
+	h.SetLogf(capture)
+	if objs := h.Evaluate(param.Config{0, 0}); objs != nil {
+		t.Fatalf("unreachable endpoint returned %v", objs)
+	}
+	mu.Lock()
+	grew := len(lines) > captured
+	mu.Unlock()
+	if !grew {
+		t.Fatal("HTTP SetLogf sink saw no failure report")
+	}
+	h.SetLogf(nil)
+	if objs := h.Evaluate(param.Config{0, 0}); objs != nil {
+		t.Fatalf("silenced http bridge returned %v", objs)
 	}
 }
 

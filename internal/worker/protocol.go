@@ -84,6 +84,9 @@ type ParamInfo struct {
 	Values []float64 `json:"values"`
 	// LogScale marks parameters the engine encodes as log10.
 	LogScale bool `json:"log_scale,omitempty"`
+	// Priors, when present, are the spec-declared per-value sampling
+	// weights (aligned with Values) that prior-guided strategies draw from.
+	Priors []float64 `json:"priors,omitempty"`
 }
 
 // ParamInfos describes a space's parameters for the wire.
@@ -96,6 +99,9 @@ func ParamInfos(space *param.Space) []ParamInfo {
 			Kind:     p.Kind.String(),
 			Values:   append([]float64{}, p.Values...),
 			LogScale: p.LogScale,
+		}
+		if p.Priors != nil {
+			out[i].Priors = append([]float64{}, p.Priors...)
 		}
 	}
 	return out
