@@ -19,6 +19,14 @@
 // POST /problems registers one at runtime (the coordinator and every
 // worker must be given the same spec so their spaces agree), and
 // -validate checks the catalog and exits.
+//
+// Resilience knobs: -shed-after N sheds /evaluate load with 503 +
+// Retry-After once N requests are already in flight, and a signal first
+// flips GET /readyz to 503 for -drain-grace before the listener closes,
+// so rolling restarts stop receiving work before they stop serving it.
+// The -chaos-* flags inject seeded faults into /evaluate (and only
+// /evaluate — health endpoints stay truthful) for fleet-resilience
+// testing; see docs/WORKER_PROTOCOL.md.
 package main
 
 import (
@@ -50,6 +58,26 @@ func main() {
 			"build the problem catalog (builtins plus -problems specs), print it, and exit without serving")
 		quiet = flag.Bool("quiet", false,
 			"suppress informational output and bridge-evaluator failure chatter (fatal errors still print)")
+
+		shedAfter = flag.Int("shed-after", 0,
+			"shed /evaluate requests with 503 + Retry-After once this many are in flight (0 = never shed)")
+		drainGrace = flag.Duration("drain-grace", 2*time.Second,
+			"on shutdown, fail GET /readyz for this long before closing the listener")
+
+		chaosDrop = flag.Float64("chaos-drop", 0,
+			"probability of dropping an /evaluate connection mid-request")
+		chaosDelay = flag.Float64("chaos-delay", 0,
+			"probability of stalling an /evaluate request")
+		chaosDelayMax = flag.Duration("chaos-delay-max", 100*time.Millisecond,
+			"upper bound of an injected stall")
+		chaos500 = flag.Float64("chaos-500", 0,
+			"probability of answering /evaluate with an injected 500")
+		chaosGarbage = flag.Float64("chaos-garbage", 0,
+			"probability of answering /evaluate with a 200 and a non-JSON body")
+		chaosCrashAfter = flag.Int64("chaos-crash-after", 0,
+			"exit(3) on the Nth+1 /evaluate request (0 = never crash)")
+		chaosSeed = flag.Int64("chaos-seed", 1,
+			"seed for the chaos fault schedule")
 	)
 	flag.Parse()
 
@@ -106,7 +134,26 @@ func main() {
 		}
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: ws.Handler()}
+	ws.SetShedLimit(*shedAfter)
+
+	handler := ws.Handler()
+	chaosOpts := worker.ChaosOptions{
+		Drop:       *chaosDrop,
+		Delay:      *chaosDelay,
+		DelayMax:   *chaosDelayMax,
+		Err500:     *chaos500,
+		Garbage:    *chaosGarbage,
+		CrashAfter: *chaosCrashAfter,
+		Seed:       *chaosSeed,
+	}
+	if chaosOpts.Enabled() {
+		infof("chaos injection armed: drop=%.2g delay=%.2g err500=%.2g garbage=%.2g crash-after=%d seed=%d",
+			chaosOpts.Drop, chaosOpts.Delay, chaosOpts.Err500, chaosOpts.Garbage,
+			chaosOpts.CrashAfter, chaosOpts.Seed)
+		handler = worker.WithChaos(handler, chaosOpts)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	infof("listening on %s (%d problems)", *addr, len(ws.Problems()))
@@ -116,7 +163,11 @@ func main() {
 	select {
 	case <-ctx.Done():
 		stop()
-		infof("shutting down")
+		// Fail readiness first so load balancers and coordinators stop
+		// routing new batches here, then give them a moment to notice.
+		ws.SetDraining(true)
+		infof("draining for %s before shutdown", *drainGrace)
+		time.Sleep(*drainGrace)
 	case err := <-errc:
 		fatalf("%v", err)
 	}

@@ -1,0 +1,212 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// This file is the fleet-resilience end-to-end harness: a seeded run is
+// fanned out to three real hypermapper-worker processes with chaos
+// injection armed — one dropping connections and injecting 500s, one
+// stalling and answering garbage, one crashing mid-run and restarting —
+// and the run must still complete with a Pareto front byte-identical to
+// an undisturbed in-process reference. Retries, backoff, hedging,
+// circuit breakers, and health probing are what make that hold.
+
+func buildWorker(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "hypermapper-worker")
+	cmd := exec.Command("go", "build", "-o", bin, "../hypermapper-worker")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building hypermapper-worker: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// chaosWorker is one running hypermapper-worker process under test.
+// exited is closed once the process has been reaped, so any number of
+// waiters (the crash assertion, the cleanup) can observe it.
+type chaosWorker struct {
+	cmd    *exec.Cmd
+	addr   string
+	url    string
+	out    *bytes.Buffer
+	exited chan struct{}
+}
+
+func startWorker(t *testing.T, bin, addr string, extra ...string) *chaosWorker {
+	t.Helper()
+	args := append([]string{"-addr", addr, "-dataset", "test"}, extra...)
+	cmd := exec.Command(bin, args...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting worker: %v", err)
+	}
+	w := &chaosWorker{cmd: cmd, addr: addr, url: "http://" + addr, out: &out,
+		exited: make(chan struct{})}
+	go func() { cmd.Wait(); close(w.exited) }()
+	t.Cleanup(func() {
+		select {
+		case <-w.exited:
+		default:
+			cmd.Process.Kill()
+			<-w.exited
+		}
+		if t.Failed() {
+			t.Logf("worker %s output:\n%s", addr, out.String())
+		}
+	})
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(w.url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return w
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("worker on %s never became healthy\n%s", addr, out.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// waitExit blocks until the worker process exits on its own (the
+// chaos-crash-after path) and reports its exit code.
+func (w *chaosWorker) waitExit(t *testing.T, timeout time.Duration) int {
+	t.Helper()
+	select {
+	case <-w.exited:
+		return w.cmd.ProcessState.ExitCode()
+	case <-time.After(timeout):
+		t.Fatalf("worker %s never crashed\n%s", w.addr, w.out.String())
+		return 0
+	}
+}
+
+func coordinatorStats(t *testing.T, d *daemon) server.Stats {
+	t.Helper()
+	resp, err := http.Get(d.url + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st server.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestChaosFleetByteIdentical is the acceptance test of the resilience
+// layer: a 3-worker fleet under seeded fault injection — drops, injected
+// 500s, stalls, garbage bodies, and one mid-run crash with a restart —
+// must complete a seeded run byte-identical to an undisturbed in-process
+// reference, with zero run failures, and the crashed worker's circuit
+// breaker must trip and be readmitted by health probing.
+func TestChaosFleetByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and crashes real daemon processes")
+	}
+	coordBin := buildDaemon(t)
+	workerBin := buildWorker(t)
+
+	// Undisturbed in-process reference run.
+	ref := startDaemon(t, coordBin)
+	refSt := ref.postRun(t, e2eReq)
+	ref.waitDone(t, refSt.ID)
+	refFront := ref.front(t, refSt.ID)
+	ref.stop(t)
+
+	// The fleet. Worker A drops connections and injects 500s, worker B
+	// stalls and answers garbage, worker C serves cleanly until it crashes
+	// mid-run. All schedules are seeded, so the fault pattern is stable.
+	addrA, addrB, addrC := freeAddr(t), freeAddr(t), freeAddr(t)
+	startWorker(t, workerBin, addrA,
+		"-chaos-drop", "0.15", "-chaos-500", "0.15", "-chaos-seed", "101")
+	startWorker(t, workerBin, addrB,
+		"-chaos-delay", "0.3", "-chaos-delay-max", "20ms",
+		"-chaos-garbage", "0.15", "-chaos-seed", "202")
+	workerC := startWorker(t, workerBin, addrC,
+		"-chaos-crash-after", "2", "-chaos-seed", "303")
+
+	urls := strings.Join([]string{"http://" + addrA, "http://" + addrB, "http://" + addrC}, ",")
+	coord := startDaemon(t, coordBin,
+		"-workers", urls,
+		"-chunk-size", "4",
+		"-retries", "8",
+		"-retry-backoff", "5ms",
+		"-breaker-threshold", "2",
+		"-probe-interval", "30ms",
+	)
+
+	st := coord.postRun(t, e2eReq)
+	final := coord.waitDone(t, st.ID)
+
+	// Worker C's crash is deterministic (3rd /evaluate request) and the
+	// run dispatches far more chunks than that, so it must have died.
+	if code := workerC.waitExit(t, 60*time.Second); code != 3 {
+		t.Fatalf("crashed worker exited %d, want 3", code)
+	}
+
+	if got := coord.front(t, st.ID); got != refFront {
+		t.Errorf("chaos-fleet front differs from in-process reference\nchaos:     %s\nreference: %s", got, refFront)
+	}
+	if final.Unmeasured != 0 {
+		t.Errorf("chaos run left %d configurations unmeasured; retries should have recovered all", final.Unmeasured)
+	}
+
+	// The dead worker's breaker must have tripped; restart it on the same
+	// address and the probe loop must readmit it.
+	stats := coordinatorStats(t, coord)
+	var tripsBefore int64
+	for _, w := range stats.Workers {
+		if w.URL == "http://"+addrC {
+			tripsBefore = w.Trips
+		}
+	}
+	if tripsBefore == 0 {
+		t.Fatalf("crashed worker never tripped its breaker: %+v", stats.Workers)
+	}
+	startWorker(t, workerBin, addrC)
+	deadline := time.Now().Add(60 * time.Second)
+	readmitted := false
+	for time.Now().Before(deadline) && !readmitted {
+		for _, w := range coordinatorStats(t, coord).Workers {
+			if w.URL == "http://"+addrC && w.Breaker == "closed" {
+				readmitted = true
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !readmitted {
+		t.Fatalf("restarted worker was never readmitted: %+v", coordinatorStats(t, coord).Workers)
+	}
+
+	// Counters for the CI job summary (grepped out of the -v test log).
+	var totalReq, totalFail, totalHedge, totalTrips int64
+	for _, w := range coordinatorStats(t, coord).Workers {
+		totalReq += w.Requests
+		totalFail += w.Failures
+		totalHedge += w.Hedges
+		totalTrips += w.Trips
+	}
+	fmt.Printf("CHAOS: requests=%d failures=%d hedges=%d breaker_trips=%d unmeasured=%d front_identical=%v\n",
+		totalReq, totalFail, totalHedge, totalTrips, final.Unmeasured, coord.front(t, st.ID) == refFront)
+	if totalFail == 0 {
+		t.Error("chaos injection produced zero observed failures; the scenario is not exercised")
+	}
+	coord.stop(t)
+}

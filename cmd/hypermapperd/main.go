@@ -22,6 +22,15 @@
 //
 //	hypermapperd -addr :8089 -workers http://w1:9090,http://w2:9090 -hedge-after 500ms
 //
+// The fleet is resilient by default: failed chunks retry with capped
+// exponential backoff and full jitter (-retry-backoff), repeatedly
+// failing workers trip a per-worker circuit breaker (-breaker-threshold)
+// and are health-probed back in (-probe-interval), 503 + Retry-After
+// responses from shedding workers are honored as backpressure, and
+// -max-unmeasured lets runs tolerate a bounded fraction of unmeasured
+// configurations per batch instead of failing outright. GET /stats
+// exposes per-worker breaker state and trip counts.
+//
 // Beyond the builtin catalog, declarative problem specs (docs/SCENARIOS.md)
 // extend what the daemon serves: -problems <dir> loads every *.json spec at
 // startup, POST /problems registers one at runtime, and -validate checks a
@@ -82,6 +91,14 @@ func main() {
 			"max configurations per worker request (0 selects the default)")
 		retries = flag.Int("retries", 0,
 			"extra attempts per failed worker chunk, each on a different worker (0 selects the default)")
+		retryBackoff = flag.Duration("retry-backoff", 0,
+			"base delay before a worker retry; successive attempts back off exponentially with full jitter (0 selects the default)")
+		breakerThreshold = flag.Int("breaker-threshold", 0,
+			"consecutive failures that trip a worker's circuit breaker (0 selects the default, negative disables breakers)")
+		probeInterval = flag.Duration("probe-interval", 0,
+			"how often tripped workers are health-probed for readmission (0 selects the default)")
+		maxUnmeasured = flag.Float64("max-unmeasured", 0,
+			"default per-batch fraction of configurations a run may leave unmeasured before failing, 0..1 (requests can override)")
 
 		problemsDir = flag.String("problems", "",
 			"directory of declarative problem specs (*.json, docs/SCENARIOS.md) to load at startup")
@@ -160,16 +177,24 @@ func main() {
 	if *resume && *dataDir == "" {
 		fatalf("-resume requires -data-dir")
 	}
+	if f := *maxUnmeasured; f < 0 || f > 1 {
+		fatalf("-max-unmeasured %g must be in [0, 1]", f)
+	}
+	cfg.MaxUnmeasuredFraction = *maxUnmeasured
 	if *workers != "" {
 		urls := strings.Split(*workers, ",")
 		pool, err := worker.NewPool(urls, worker.Options{
-			HedgeAfter: *hedgeAfter,
-			ChunkSize:  *chunkSize,
-			Retries:    *retries,
+			HedgeAfter:       *hedgeAfter,
+			ChunkSize:        *chunkSize,
+			Retries:          *retries,
+			RetryBackoff:     *retryBackoff,
+			BreakerThreshold: *breakerThreshold,
+			ProbeInterval:    *probeInterval,
 		})
 		if err != nil {
 			fatalf("building worker pool: %v", err)
 		}
+		defer pool.Close()
 		cfg.EvalPool = pool
 	}
 

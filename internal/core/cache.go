@@ -81,12 +81,13 @@ func SpaceFingerprint(space *param.Space, objectives int) string {
 // fingerprint differs from the relaunched run's.
 func RunFingerprint(space *param.Space, opts Options) string {
 	o := opts.withDefaults()
-	return fmt.Sprintf("%s;seed=%d;rs=%d;iters=%d;batch=%d;pool=%d;trees=%d;depth=%d;leaf=%d;mtry=%d;ratio=%g;sampler=%s;modeler=%s;selector=%s",
+	return fmt.Sprintf("%s;seed=%d;rs=%d;iters=%d;batch=%d;pool=%d;trees=%d;depth=%d;leaf=%d;mtry=%d;ratio=%g;sampler=%s;modeler=%s;selector=%s;maxunmeas=%g",
 		spaceFingerprint(space, o.Objectives), o.Seed, o.RandomSamples,
 		o.MaxIterations, o.MaxBatch, o.PoolCap,
 		o.Forest.Trees, o.Forest.MaxDepth, o.Forest.MinSamplesLeaf,
 		o.Forest.MaxFeatures, o.Forest.SampleRatio,
-		samplerName(o.Sampler), modelerName(o.Modeler), selectorName(o.Selector))
+		samplerName(o.Sampler), modelerName(o.Modeler), selectorName(o.Selector),
+		o.MaxUnmeasuredFraction)
 }
 
 // evalCacheView is a cache handle bound to one space namespace; the engine

@@ -107,6 +107,28 @@ type Options struct {
 	// unjournaled configuration. Entries are objective vectors of length
 	// Objectives; the map is only read.
 	Replay map[int64][]float64
+	// ReplaySkips complements Replay with the degraded-batch history: a
+	// map from design-space index to how many batches of the journaled run
+	// skipped that index unmeasured (journal Batch.Unmeasured entries).
+	// During replay a pending skip is consumed before Replay is consulted,
+	// so a resumed run reproduces the original's degraded batches exactly
+	// — an index skipped in one iteration and measured in a later one
+	// replays in that same order. The map is copied, never mutated.
+	ReplaySkips map[int64]int
+	// MaxUnmeasuredFraction bounds graceful degradation. When a batch
+	// comes back partially unmeasured — the evaluation backend exhausted
+	// its retries on some chunk, or returned fewer results than asked —
+	// the run continues without the missing configurations as long as
+	// unmeasured/batch ≤ this fraction; above it the run fails as it
+	// always has. 0, the default, keeps strict fail-fast behavior; 1
+	// tolerates any partial batch (a bootstrap with zero measurements
+	// still fails — there would be nothing to train on). Values are
+	// clamped to [0,1]. Skipped configurations stay eligible for later
+	// rounds, are counted in IterationStats.Unmeasured and
+	// Result.Unmeasured, and are journaled (Batch.Unmeasured) so a
+	// resumed run degrades byte-identically; the fraction participates in
+	// RunFingerprint for the same reason.
+	MaxUnmeasuredFraction float64
 
 	// Sampler, Modeler, and Selector plug the three stages of the
 	// search-strategy pipeline (see strategy.go). Nil selects the
@@ -152,6 +174,11 @@ func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = par.MaxWorkers()
 	}
+	if o.MaxUnmeasuredFraction < 0 {
+		o.MaxUnmeasuredFraction = 0
+	} else if o.MaxUnmeasuredFraction > 1 {
+		o.MaxUnmeasuredFraction = 1
+	}
 	if o.Sampler == nil {
 		o.Sampler = UniformSampler{}
 	}
@@ -170,14 +197,29 @@ func (o Options) logf(format string, args ...any) {
 	}
 }
 
+// RecordedBatch is one completed evaluation batch as handed to a
+// BatchRecorder: the phase identity, the genuinely measured samples
+// (replay-served ones are excluded — they are already journaled), and
+// the design-space indices the batch skipped unmeasured under
+// MaxUnmeasuredFraction, in batch order. At least one of Samples and
+// Unmeasured is non-empty.
+type RecordedBatch struct {
+	Iteration int
+	Active    bool
+	Samples   []Sample
+	// Unmeasured lists only live, tolerated skips: an interrupted batch's
+	// missing tail is deliberately NOT recorded here, so resume
+	// re-measures it instead of skipping it.
+	Unmeasured []int64
+}
+
 // BatchRecorder receives each measured evaluation batch as it completes —
 // see Options.Journal. Implementations must be safe for concurrent use
 // with whatever else writes the same journal (e.g. a shutdown checkpoint).
 type BatchRecorder interface {
-	// RecordBatch records the genuinely measured samples of one batch
-	// (bootstrap or active-learning round). samples is never empty; each
-	// entry's Iteration and ActiveLearning fields are already set.
-	RecordBatch(samples []Sample) error
+	// RecordBatch records one completed batch (bootstrap or
+	// active-learning round).
+	RecordBatch(b RecordedBatch) error
 }
 
 // Sample is one evaluated configuration.
@@ -209,6 +251,11 @@ type IterationStats struct {
 	// round's batch (both zero when Options.Cache is nil).
 	CacheHits   int
 	CacheMisses int
+	// Unmeasured counts this round's configurations that came back without
+	// a measurement and were tolerated under MaxUnmeasuredFraction
+	// (replayed skips of a resumed run included). Always 0 when the
+	// fraction is 0: strict runs fail instead of degrading.
+	Unmeasured int
 	// Hypervolume is the hypervolume indicator of the measured front after
 	// the phase, with respect to a reference at the measured nadir padded
 	// by 10% of the measured per-objective range (both over every valid
@@ -262,6 +309,9 @@ type Result struct {
 	// the whole run, bootstrap included (zero when Options.Cache is nil).
 	CacheHits   int
 	CacheMisses int
+	// Unmeasured totals the configurations tolerated away unmeasured under
+	// Options.MaxUnmeasuredFraction across the whole run.
+	Unmeasured int
 
 	// byIndex lazily maps design-space index → position in Samples, built
 	// on first ByIndex call (and rebuilt if Samples grew since), so
@@ -441,6 +491,16 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 		return nil
 	}
 
+	// Pending journaled skips of a resumed run, consumed as batches replay.
+	// The copy keeps Options.ReplaySkips read-only for the caller.
+	var skips map[int64]int
+	if len(o.ReplaySkips) > 0 {
+		skips = make(map[int64]int, len(o.ReplaySkips))
+		for idx, n := range o.ReplaySkips {
+			skips[idx] = n
+		}
+	}
+
 	// ---- Random sampling bootstrap (X_out ← rs samples) ----
 	n := o.RandomSamples
 	if int64(n) > space.Size() {
@@ -449,16 +509,22 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 	bootstrap := o.Sampler.Draw(space, rng, n)
 	o.logf("random sampling: evaluating %d configurations", len(bootstrap))
 	evalStart := time.Now()
-	batch, hits, misses, err := evaluateBatch(ctx, space, bootstrap, o, 0, false)
+	batch, bo, err := evaluateBatch(ctx, space, bootstrap, o, skips, 0, false)
 	evalTime := time.Since(evalStart)
-	res.CacheHits += hits
-	res.CacheMisses += misses
+	res.CacheHits += bo.hits
+	res.CacheMisses += bo.misses
+	res.Unmeasured += bo.unmeasured
 	if err := ingest(batch); err != nil {
 		return nil, err
 	}
 	res.RandomFront = measuredFront(res.Samples)
 	if err != nil {
 		return finish(err)
+	}
+	if len(batch) == 0 && bo.unmeasured > 0 {
+		// Degradation tolerated away the whole bootstrap — there is nothing
+		// to train on, and every later fit would fail obscurely.
+		return finish(fmt.Errorf("core: bootstrap batch fully unmeasured (%d configurations); cannot train", bo.unmeasured))
 	}
 	if wantFeas {
 		// Probe the space's declared constraint predicate: uniform index
@@ -478,8 +544,9 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 		TotalSamples: len(res.Samples),
 		FrontSize:    len(res.RandomFront),
 		Hypervolume:  frontHypervolume(res.RandomFront),
-		CacheHits:    hits,
-		CacheMisses:  misses,
+		CacheHits:    bo.hits,
+		CacheMisses:  bo.misses,
+		Unmeasured:   bo.unmeasured,
 		EvalTime:     evalTime,
 	})
 
@@ -589,10 +656,11 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 		}
 
 		evalStart := time.Now()
-		newSamples, hits, misses, err := evaluateBatch(ctx, space, todo, o, iter, true)
+		newSamples, bo, err := evaluateBatch(ctx, space, todo, o, skips, iter, true)
 		evalTime := time.Since(evalStart)
-		res.CacheHits += hits
-		res.CacheMisses += misses
+		res.CacheHits += bo.hits
+		res.CacheMisses += bo.misses
+		res.Unmeasured += bo.unmeasured
 		if err := ingest(newSamples); err != nil {
 			return nil, err
 		}
@@ -609,8 +677,9 @@ func RunContext(ctx context.Context, space *param.Space, eval Evaluator, opts Op
 			Hypervolume:        frontHypervolume(front),
 			OOBError:           oob,
 			OOBSamples:         oobN,
-			CacheHits:          hits,
-			CacheMisses:        misses,
+			CacheHits:          bo.hits,
+			CacheMisses:        bo.misses,
+			Unmeasured:         bo.unmeasured,
 			FitTime:            fitTime,
 			EncodeTime:         encodeTime,
 			PredictTime:        predictTime,
@@ -705,38 +774,65 @@ func filterFeasible(cands []pareto.Point, probs []float64, threshold float64) ([
 	return keptC, keptP
 }
 
+// batchOutcome carries one evaluateBatch's accounting: memo-cache hit and
+// miss counts, plus how many of the batch's configurations ended
+// unmeasured (live skips tolerated under MaxUnmeasuredFraction and
+// replayed skips of a resumed run alike).
+type batchOutcome struct {
+	hits, misses int
+	unmeasured   int
+}
+
 // evaluateBatch measures the given configuration indices through the run's
-// Backend, returning samples in the order of idxs plus the memo-cache
-// hit/miss counts for the batch. Indices present in Options.Replay are
-// served from the journal replay and never reach the cache or backend;
-// the rest resolve as before: with a cache the batch goes through
-// fetchBatch (cached indices served, the miss set evaluated in one backend
-// call, in-flight indices of concurrent runs waited on), without one the
-// whole batch goes to the backend directly. Genuinely measured samples —
-// and only those — are recorded to Options.Journal before returning, so a
-// resumed run never re-journals what it replayed. On cancellation or
+// Backend, returning samples in the order of idxs plus the batch's
+// accounting. skips holds the resumed run's pending journaled skips by
+// index (a mutable copy of Options.ReplaySkips, owned by the run loop); a
+// pending skip is consumed before Replay is consulted, so an index the
+// original run skipped in one batch and measured in a later one replays in
+// that same order. Indices present in Options.Replay are served from the
+// journal replay and never reach the cache or backend; the rest resolve as
+// before: with a cache the batch goes through fetchBatch (cached indices
+// served, the miss set evaluated in one backend call, in-flight indices of
+// concurrent runs waited on), without one the whole batch goes to the
+// backend directly. Genuinely measured samples — and only those — are
+// recorded to Options.Journal before returning, so a resumed run never
+// re-journals what it replayed.
+//
+// A batch that comes back partially unmeasured normally fails the run;
+// with MaxUnmeasuredFraction > 0 and the unmeasured share within it the
+// batch instead degrades: the backend error is swallowed, the live skips
+// are journaled (RecordedBatch.Unmeasured) so a resumed run degrades
+// byte-identically, and the skipped indices stay eligible for later
+// rounds. Cancellation never degrades — on cancellation or intolerable
 // backend failure only the evaluations that did complete are returned,
 // together with the error (measurements are expensive — an interrupted
 // batch must not throw finished ones away); completed measurements are
-// still journaled on the way out.
-func evaluateBatch(ctx context.Context, space *param.Space, idxs []int64, o Options, iter int, active bool) ([]Sample, int, int, error) {
+// still journaled on the way out, without skip entries, so resume
+// re-measures the interrupted tail instead of skipping it.
+func evaluateBatch(ctx context.Context, space *param.Space, idxs []int64, o Options, skips map[int64]int, iter int, active bool) ([]Sample, batchOutcome, error) {
+	var bo batchOutcome
 	if err := ctx.Err(); err != nil {
-		return nil, 0, 0, err
+		return nil, bo, err
 	}
 	cfgs := make([]param.Config, len(idxs))
 	for i, idx := range idxs {
 		cfgs[i] = space.AtIndex(idx)
 	}
 	objs := make([][]float64, len(idxs))
-	live := make([]int, 0, len(idxs)) // positions not served by replay
+	skipped := make([]bool, len(idxs)) // replayed a journaled skip here
+	live := make([]int, 0, len(idxs))  // positions not served by replay
 	for i, idx := range idxs {
+		if n := skips[idx]; n > 0 {
+			skips[idx] = n - 1
+			skipped[i] = true
+			continue
+		}
 		if rec, ok := o.Replay[idx]; ok {
 			objs[i] = append([]float64(nil), rec...)
 			continue
 		}
 		live = append(live, i)
 	}
-	var hits, misses int
 	var err error
 	if len(live) > 0 {
 		liveIdxs := make([]int64, len(live))
@@ -747,24 +843,29 @@ func evaluateBatch(ctx context.Context, space *param.Space, idxs []int64, o Opti
 		}
 		var liveObjs [][]float64
 		if o.cache != nil {
-			liveObjs, hits, misses, err = o.cache.fetchBatch(ctx, liveIdxs, liveCfgs, o.Backend)
+			liveObjs, bo.hits, bo.misses, err = o.cache.fetchBatch(ctx, liveIdxs, liveCfgs, o.Backend)
 		} else {
 			liveObjs, err = o.Backend.EvaluateBatch(ctx, liveCfgs)
 		}
 		if len(liveObjs) > len(liveIdxs) {
 			// A contract violation must fail like the under-length case
 			// below, not index past idxs.
-			return nil, hits, misses, fmt.Errorf("core: backend returned %d results for a %d-configuration batch", len(liveObjs), len(liveIdxs))
+			return nil, bo, fmt.Errorf("core: backend returned %d results for a %d-configuration batch", len(liveObjs), len(liveIdxs))
 		}
 		for j, ob := range liveObjs {
 			objs[live[j]] = ob
 		}
 	}
 	out := make([]Sample, 0, len(idxs))
-	var measured []Sample // the live completions, for the journal
+	var measured []Sample   // the live completions, for the journal
+	var liveSkipped []int64 // live positions without a measurement, batch order
 	for i, ob := range objs {
 		if ob == nil {
-			continue // not evaluated: cancelled or failed mid-batch
+			bo.unmeasured++
+			if !skipped[i] {
+				liveSkipped = append(liveSkipped, idxs[i])
+			}
+			continue // not evaluated: skipped, cancelled, or failed mid-batch
 		}
 		s := Sample{Index: idxs[i], Config: cfgs[i], Objs: ob, Iteration: iter, ActiveLearning: active}
 		out = append(out, s)
@@ -772,15 +873,29 @@ func evaluateBatch(ctx context.Context, space *param.Space, idxs []int64, o Opti
 			measured = append(measured, s)
 		}
 	}
-	if o.Journal != nil && len(measured) > 0 {
-		if jerr := o.Journal.RecordBatch(measured); jerr != nil {
-			return out, hits, misses, fmt.Errorf("core: journaling evaluation batch: %w", jerr)
+	// Decide degradation before journaling: a tolerated batch journals its
+	// skips, an intolerable or cancelled one must not (its missing tail is
+	// re-measured on resume). The fraction is taken over the whole batch,
+	// replayed skips included, so a resumed run reaches the same verdict.
+	degraded := len(liveSkipped) > 0 && ctx.Err() == nil && o.MaxUnmeasuredFraction > 0 &&
+		float64(bo.unmeasured) <= o.MaxUnmeasuredFraction*float64(len(idxs))
+	if o.Journal != nil && (len(measured) > 0 || degraded) {
+		rec := RecordedBatch{Iteration: iter, Active: active, Samples: measured}
+		if degraded {
+			rec.Unmeasured = liveSkipped
+		}
+		if jerr := o.Journal.RecordBatch(rec); jerr != nil {
+			return out, bo, fmt.Errorf("core: journaling evaluation batch: %w", jerr)
 		}
 	}
-	if err == nil && len(out) < len(idxs) {
+	if degraded {
+		o.logf("batch degraded: %d of %d configurations unmeasured (tolerating ≤ %.3g)",
+			bo.unmeasured, len(idxs), o.MaxUnmeasuredFraction)
+		err = nil
+	} else if err == nil && len(liveSkipped) > 0 {
 		err = fmt.Errorf("core: backend returned %d results for a %d-configuration batch", len(out), len(idxs))
 	}
-	return out, hits, misses, err
+	return out, bo, err
 }
 
 // trainingMatrix encodes every sample from scratch — the legacy reference

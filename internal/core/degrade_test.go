@@ -1,0 +1,255 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/param"
+)
+
+// dropBackend evaluates through fn but leaves configurations selected by
+// drop unmeasured (nil), returning a partial-batch error alongside the
+// completed results — the shape a lossy worker fleet produces.
+type dropBackend struct {
+	fn    func(cfg param.Config) []float64
+	drop  func(cfg param.Config) bool
+	calls atomic.Int64
+}
+
+func (b *dropBackend) EvaluateBatch(ctx context.Context, cfgs []param.Config) ([][]float64, error) {
+	b.calls.Add(1)
+	out := make([][]float64, len(cfgs))
+	dropped := 0
+	for i, cfg := range cfgs {
+		if b.drop != nil && b.drop(cfg) {
+			dropped++
+			continue
+		}
+		out[i] = b.fn(cfg)
+	}
+	if dropped > 0 {
+		return out, fmt.Errorf("drop backend: %d of %d configurations lost", dropped, len(cfgs))
+	}
+	return out, nil
+}
+
+// degradeEval mirrors resumeEval as a plain function for the backend.
+func degradeEval(cfg param.Config) []float64 {
+	return []float64{
+		cfg[0] + 0.3*math.Sin(4*cfg[1]) + 0.1*cfg[2],
+		cfg[1] + 0.3*math.Cos(3*cfg[0]),
+	}
+}
+
+// lossyDrop deterministically loses ~10% of configurations by value, so
+// the same configurations vanish in every run over the space.
+func lossyDrop(cfg param.Config) bool {
+	_, frac := math.Modf((cfg[0] + cfg[1] + cfg[2]) * 7.31)
+	return frac < 0.1
+}
+
+func degradeOpts(rec *memRecorder, frac float64, b Backend) Options {
+	o := resumeOpts(rec)
+	o.MaxUnmeasuredFraction = frac
+	o.Backend = b
+	return o
+}
+
+// MaxUnmeasuredFraction = 0 keeps the historical strict behavior: any
+// unmeasured configuration fails the run.
+func TestUnmeasuredFractionZeroFailsFast(t *testing.T) {
+	space := resumeSpace(t)
+	b := &dropBackend{fn: degradeEval, drop: lossyDrop}
+	res, err := Run(space, nil, degradeOpts(&memRecorder{}, 0, b))
+	if err == nil {
+		t.Fatal("strict run over a lossy backend succeeded")
+	}
+	if res == nil || len(res.Samples) == 0 {
+		t.Fatal("completed measurements of the failed batch were discarded")
+	}
+	// The counter still reports what was lost — diagnostic even on failure.
+	if res.Unmeasured == 0 {
+		t.Fatal("failed strict run did not report its unmeasured configurations")
+	}
+}
+
+// A tolerant run completes over the same lossy backend, counts its skips,
+// and journals them.
+func TestUnmeasuredFractionToleratesLossyBackend(t *testing.T) {
+	space := resumeSpace(t)
+	b := &dropBackend{fn: degradeEval, drop: lossyDrop}
+	rec := &memRecorder{}
+	res, err := Run(space, nil, degradeOpts(rec, 0.9, b))
+	if err != nil {
+		t.Fatalf("tolerant run failed: %v", err)
+	}
+	if res.Unmeasured == 0 {
+		t.Fatal("lossy backend produced no unmeasured configurations; the scenario is not exercised")
+	}
+	sum := 0
+	for _, ev := range res.Iterations {
+		sum += ev.Unmeasured
+	}
+	// The bootstrap's stats are not in res.Iterations; count its skips via
+	// the journal instead.
+	journaled := 0
+	for _, batch := range rec.batches {
+		journaled += len(batch.Unmeasured)
+	}
+	if journaled != res.Unmeasured {
+		t.Fatalf("journal records %d skips, result says %d", journaled, res.Unmeasured)
+	}
+	// No skipped index may appear among the measured samples of its own
+	// batch, and every measured sample must carry objectives.
+	for _, s := range res.Samples {
+		if s.Objs == nil {
+			t.Fatalf("sample %d has nil objectives", s.Index)
+		}
+	}
+}
+
+// Degradation boundaries at the batch level: unmeasured/batch ≤ fraction
+// degrades, anything above fails; fraction 1 tolerates a fully lost batch.
+func TestEvaluateBatchDegradationBoundaries(t *testing.T) {
+	space := resumeSpace(t)
+	idxs := []int64{0, 1, 2, 3}
+	run := func(frac float64, dropN int) ([]Sample, batchOutcome, error, *memRecorder) {
+		t.Helper()
+		seen := 0
+		b := &dropBackend{fn: degradeEval, drop: func(param.Config) bool {
+			seen++
+			return seen <= dropN
+		}}
+		rec := &memRecorder{}
+		o := Options{Objectives: 2, MaxUnmeasuredFraction: frac, Journal: rec, Backend: b}
+		out, bo, err := evaluateBatch(context.Background(), space, idxs, o, nil, 1, true)
+		return out, bo, err, rec
+	}
+
+	// Exactly at the threshold: 2 of 4 unmeasured, fraction 0.5 → degraded.
+	out, bo, err, rec := run(0.5, 2)
+	if err != nil {
+		t.Fatalf("at-threshold batch failed: %v", err)
+	}
+	if len(out) != 2 || bo.unmeasured != 2 {
+		t.Fatalf("at-threshold: %d measured, %d unmeasured", len(out), bo.unmeasured)
+	}
+	if len(rec.batches) != 1 || len(rec.batches[0].Unmeasured) != 2 {
+		t.Fatalf("at-threshold journal = %+v", rec.batches)
+	}
+
+	// Just below: same loss, fraction 0.49 → the batch fails, and the
+	// journal must NOT record skips (resume re-measures).
+	_, _, err, rec = run(0.49, 2)
+	if err == nil {
+		t.Fatal("over-threshold batch succeeded")
+	}
+	if len(rec.batches) != 1 || len(rec.batches[0].Unmeasured) != 0 {
+		t.Fatalf("failed batch journaled skips: %+v", rec.batches)
+	}
+
+	// Fraction 1 tolerates a fully lost batch.
+	out, bo, err, rec = run(1, len(idxs))
+	if err != nil {
+		t.Fatalf("fraction-1 fully-lost batch failed: %v", err)
+	}
+	if len(out) != 0 || bo.unmeasured != len(idxs) {
+		t.Fatalf("fully-lost: %d measured, %d unmeasured", len(out), bo.unmeasured)
+	}
+	if len(rec.batches) != 1 || len(rec.batches[0].Unmeasured) != len(idxs) || len(rec.batches[0].Samples) != 0 {
+		t.Fatalf("fully-lost journal = %+v", rec.batches)
+	}
+}
+
+// A bootstrap tolerated away entirely must still fail: there is nothing
+// to train on.
+func TestFullyUnmeasuredBootstrapFails(t *testing.T) {
+	space := resumeSpace(t)
+	b := &dropBackend{fn: degradeEval, drop: func(param.Config) bool { return true }}
+	_, err := Run(space, nil, degradeOpts(&memRecorder{}, 1, b))
+	if err == nil || !strings.Contains(err.Error(), "bootstrap") {
+		t.Fatalf("err = %v, want a bootstrap-unmeasured failure", err)
+	}
+}
+
+// Resuming a degraded run from its journal (Replay + ReplaySkips) must be
+// byte-identical — same samples, same front, same skip history — without
+// a single backend call.
+func TestDegradedResumeByteIdentical(t *testing.T) {
+	space := resumeSpace(t)
+	ref := &memRecorder{}
+	refRes, err := Run(space, nil, degradeOpts(ref, 0.9, &dropBackend{fn: degradeEval, drop: lossyDrop}))
+	if err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	if refRes.Unmeasured == 0 {
+		t.Fatal("reference run skipped nothing; the scenario is not exercised")
+	}
+
+	replay := make(map[int64][]float64)
+	for _, s := range ref.samples() {
+		replay[s.Index] = s.Objs
+	}
+	dead := &dropBackend{fn: degradeEval}
+	rec := &memRecorder{}
+	opts := degradeOpts(rec, 0.9, dead)
+	opts.Replay = replay
+	opts.ReplaySkips = ref.skips()
+	res, err := Run(space, nil, opts)
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if dead.calls.Load() != 0 {
+		t.Fatalf("full replay called the backend %d times", dead.calls.Load())
+	}
+	if len(rec.batches) != 0 {
+		t.Fatalf("full replay journaled %d batches", len(rec.batches))
+	}
+	if !reflect.DeepEqual(sampleKeys(res.Samples), sampleKeys(refRes.Samples)) {
+		t.Fatal("resumed sample order differs from reference")
+	}
+	if !reflect.DeepEqual(res.Front, refRes.Front) {
+		t.Fatal("resumed front differs from reference")
+	}
+	if res.Unmeasured != refRes.Unmeasured {
+		t.Fatalf("resumed Unmeasured = %d, reference %d", res.Unmeasured, refRes.Unmeasured)
+	}
+	if res.Converged != refRes.Converged {
+		t.Fatalf("converged = %v, want %v", res.Converged, refRes.Converged)
+	}
+}
+
+// The degradation tolerance is part of the run's deterministic identity:
+// runs with different fractions skip different work, so their journals
+// must never be replay-compatible.
+func TestFingerprintCoversUnmeasuredFraction(t *testing.T) {
+	space := resumeSpace(t)
+	a := resumeOpts(nil)
+	b := resumeOpts(nil)
+	b.MaxUnmeasuredFraction = 0.25
+	if RunFingerprint(space, a) == RunFingerprint(space, b) {
+		t.Fatal("fingerprint ignores MaxUnmeasuredFraction")
+	}
+	c := resumeOpts(nil)
+	c.MaxUnmeasuredFraction = 0.25
+	if RunFingerprint(space, b) != RunFingerprint(space, c) {
+		t.Fatal("equal options produced different fingerprints")
+	}
+}
+
+// Options clamping: out-of-range fractions normalize into [0, 1].
+func TestUnmeasuredFractionClamped(t *testing.T) {
+	o := Options{Objectives: 1, MaxUnmeasuredFraction: -0.5}.withDefaults()
+	if o.MaxUnmeasuredFraction != 0 {
+		t.Fatalf("negative fraction clamped to %g, want 0", o.MaxUnmeasuredFraction)
+	}
+	o = Options{Objectives: 1, MaxUnmeasuredFraction: 7}.withDefaults()
+	if o.MaxUnmeasuredFraction != 1 {
+		t.Fatalf("oversized fraction clamped to %g, want 1", o.MaxUnmeasuredFraction)
+	}
+}

@@ -17,18 +17,19 @@ var errTest = errors.New("journal write failed")
 // would journal.
 type memRecorder struct {
 	mu      sync.Mutex
-	batches [][]Sample
+	batches []RecordedBatch
 	fail    error // when non-nil, RecordBatch returns it
 }
 
-func (r *memRecorder) RecordBatch(samples []Sample) error {
+func (r *memRecorder) RecordBatch(b RecordedBatch) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.fail != nil {
 		return r.fail
 	}
-	cp := make([]Sample, len(samples))
-	copy(cp, samples)
+	cp := b
+	cp.Samples = append([]Sample(nil), b.Samples...)
+	cp.Unmeasured = append([]int64(nil), b.Unmeasured...)
 	r.batches = append(r.batches, cp)
 	return nil
 }
@@ -38,9 +39,23 @@ func (r *memRecorder) samples() []Sample {
 	defer r.mu.Unlock()
 	var out []Sample
 	for _, b := range r.batches {
-		out = append(out, b...)
+		out = append(out, b.Samples...)
 	}
 	return out
+}
+
+// skips flattens the recorded unmeasured history into the ReplaySkips map
+// shape, mirroring journal.Recovered.Skips.
+func (r *memRecorder) skips() map[int64]int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	m := make(map[int64]int)
+	for _, b := range r.batches {
+		for _, idx := range b.Unmeasured {
+			m[idx]++
+		}
+	}
+	return m
 }
 
 func resumeSpace(t *testing.T) *param.Space {

@@ -69,11 +69,19 @@ type SampleRecord struct {
 // Batch is one completed evaluation batch: the bootstrap (iteration 0) or
 // the measured part of an active-learning round. A batch record is only
 // appended after its measurements finished, so a journal never contains a
-// promise of work — only completed, replayable measurements.
+// promise of work — only completed, replayable measurements, plus the
+// indices the engine deliberately tolerated away unmeasured (graceful
+// degradation under MaxUnmeasuredFraction). An interrupted batch's missing
+// tail is never recorded as unmeasured: absence means "re-measure on
+// resume", an Unmeasured entry means "skip again, exactly as the original
+// run did".
 type Batch struct {
 	Iteration int            `json:"iteration"`
 	Active    bool           `json:"active,omitempty"`
 	Samples   []SampleRecord `json:"samples"`
+	// Unmeasured lists design-space indices this batch skipped without a
+	// measurement, in batch order.
+	Unmeasured []int64 `json:"unmeasured,omitempty"`
 }
 
 // Checkpoint marks an orderly event mid-run — today, a graceful daemon
@@ -300,6 +308,24 @@ func (r *Recovered) Replay() map[int64][]float64 {
 	for _, b := range r.Batches {
 		for _, s := range b.Samples {
 			m[s.Index] = s.Objs
+		}
+	}
+	return m
+}
+
+// Skips flattens the journal's degraded-batch history into the index →
+// skip-count map the engine's resume path consumes (Options.ReplaySkips).
+// Counts, not a set: an index skipped in one batch can be measured — or
+// skipped again — in a later one, and resume must consume the skips in
+// the same order. Nil when no batch degraded.
+func (r *Recovered) Skips() map[int64]int {
+	var m map[int64]int
+	for _, b := range r.Batches {
+		for _, idx := range b.Unmeasured {
+			if m == nil {
+				m = make(map[int64]int)
+			}
+			m[idx]++
 		}
 	}
 	return m

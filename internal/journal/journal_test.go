@@ -324,3 +324,64 @@ func TestWriteJSONAtomicRoundTrip(t *testing.T) {
 		t.Errorf("ReadJSON(missing) = %v, want ErrNotExist", err)
 	}
 }
+
+// Unmeasured indices round-trip through the journal, and Skips counts
+// repeat skips of the same index across batches.
+func TestUnmeasuredRoundTripAndSkips(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	w, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	batches := []Batch{
+		{Iteration: 0, Samples: []SampleRecord{{Index: 1, Objs: []float64{1}}}, Unmeasured: []int64{7, 9}},
+		{Iteration: 1, Active: true, Unmeasured: []int64{7}},
+		{Iteration: 2, Active: true, Samples: []SampleRecord{{Index: 2, Objs: []float64{2}}}},
+	}
+	for _, b := range batches {
+		if err := w.Batch(b); err != nil {
+			t.Fatalf("Batch: %v", err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	rec, err := Recover(path)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if len(rec.Batches) != 3 {
+		t.Fatalf("recovered %d batches, want 3", len(rec.Batches))
+	}
+	for i, b := range rec.Batches {
+		if len(b.Unmeasured) != len(batches[i].Unmeasured) {
+			t.Fatalf("batch %d unmeasured = %v, want %v", i, b.Unmeasured, batches[i].Unmeasured)
+		}
+	}
+	skips := rec.Skips()
+	if skips[7] != 2 || skips[9] != 1 || len(skips) != 2 {
+		t.Fatalf("Skips() = %v, want {7:2 9:1}", skips)
+	}
+}
+
+// A journal with no unmeasured entries yields a nil skip map, so resume
+// paths can pass it straight through without allocation.
+func TestSkipsNilWhenNoneRecorded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.jsonl")
+	w, err := Create(path, testHeader())
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	writeBatches(t, w, 2)
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	rec, err := Recover(path)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if rec.Skips() != nil {
+		t.Fatalf("Skips() = %v, want nil", rec.Skips())
+	}
+}

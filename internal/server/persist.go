@@ -142,26 +142,27 @@ func (m *Manager) persistTerminal(s *session) {
 }
 
 // sessionRecorder adapts a session's journal to the engine's BatchRecorder
-// hook: each measured batch is durably appended before the engine
+// hook: each measured batch — and any indices it tolerated away unmeasured
+// under MaxUnmeasuredFraction — is durably appended before the engine
 // proceeds. A successful append also flips a recovering session to running
 // — replayed batches are never re-journaled, so an append means the run is
 // past its recovered history and measuring live again.
 type sessionRecorder struct{ s *session }
 
 // RecordBatch implements core.BatchRecorder.
-func (r sessionRecorder) RecordBatch(samples []core.Sample) error {
-	var b journal.Batch
-	if len(samples) > 0 {
-		b.Iteration = samples[0].Iteration
-		b.Active = samples[0].ActiveLearning
+func (r sessionRecorder) RecordBatch(batch core.RecordedBatch) error {
+	b := journal.Batch{
+		Iteration:  batch.Iteration,
+		Active:     batch.Active,
+		Unmeasured: batch.Unmeasured,
 	}
-	for _, s := range samples {
+	for _, s := range batch.Samples {
 		b.Samples = append(b.Samples, journal.SampleRecord{Index: s.Index, Objs: s.Objs})
 	}
 	if err := r.s.jw.Batch(b); err != nil {
 		return err
 	}
-	r.s.journaled.Add(int64(len(samples)))
+	r.s.journaled.Add(int64(len(batch.Samples)))
 	r.s.leaveRecovering()
 	return nil
 }
@@ -353,6 +354,7 @@ func (m *Manager) resumeRun(ctx context.Context, s *session, meta runMeta) {
 	s.jw = jw
 	s.journaled.Store(int64(rec.Samples()))
 	opts.Replay = rec.Replay()
+	opts.ReplaySkips = rec.Skips()
 	opts.Journal = sessionRecorder{s}
 	res, err := core.RunContext(ctx, p.Space, p.Eval, opts)
 	s.finish(res, err)

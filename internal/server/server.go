@@ -103,6 +103,13 @@ type RunRequest struct {
 	// NoCache opts this session out of the problem's shared memo-cache
 	// (e.g. when the evaluator is noisy and fresh measurements matter).
 	NoCache bool `json:"no_cache,omitempty"`
+	// MaxUnmeasuredFraction bounds graceful degradation under a lossy
+	// evaluation fleet: the run tolerates up to this fraction of a batch
+	// coming back unmeasured instead of failing (core.Options field of the
+	// same name). 0 selects the daemon's configured default — a request
+	// cannot ask for strict fail-fast when the daemon default is lossier;
+	// it can only raise the tolerance. Clamped to [0,1].
+	MaxUnmeasuredFraction float64 `json:"max_unmeasured_fraction,omitempty"`
 	// Strategy selects the search-strategy pipeline; the zero value is the
 	// default pipeline and changes nothing.
 	Strategy StrategyRequest `json:"strategy"`
@@ -148,6 +155,9 @@ func (r RunRequest) validate() error {
 		if f.v > f.max {
 			return fmt.Errorf("%s %d exceeds the limit %d", f.name, f.v, f.max)
 		}
+	}
+	if f := r.MaxUnmeasuredFraction; f < 0 || f > 1 {
+		return fmt.Errorf("max_unmeasured_fraction %g must be in [0, 1]", f)
 	}
 	if _, err := core.NewSampler(r.Strategy.Sampler); err != nil {
 		return err
@@ -203,6 +213,10 @@ type Config struct {
 	// background. 0 derives it from SessionTTL (TTL/4, clamped to
 	// [100ms, 30s]); with no TTL it defaults to 30s.
 	JanitorInterval time.Duration
+	// MaxUnmeasuredFraction is the default per-run degradation tolerance
+	// (RunRequest field of the same name) applied when a request leaves it
+	// 0. Keep it 0 to run the whole daemon strictly fail-fast.
+	MaxUnmeasuredFraction float64
 	// EvalPool, when non-nil, fans every session's evaluation batches out
 	// to the given remote worker fleet instead of evaluating in-process:
 	// each run gets the pool's backend bound to its problem name, so every
@@ -443,16 +457,25 @@ func (m *Manager) Start(req RunRequest) (RunStatus, error) {
 // and the resume path, which must produce an identical configuration for
 // the run fingerprints to match.
 func (m *Manager) buildOpts(p Problem, req RunRequest, cache *core.EvalCache, s *session) core.Options {
+	// A request's 0 means "daemon default", so the resume path — which
+	// rebuilds options from the persisted request under the then-current
+	// daemon config — computes the same fingerprint as the original launch
+	// as long as the daemon default is unchanged.
+	frac := req.MaxUnmeasuredFraction
+	if frac == 0 {
+		frac = m.cfg.MaxUnmeasuredFraction
+	}
 	opts := core.Options{
-		Objectives:    len(p.Objectives),
-		RandomSamples: req.RandomSamples,
-		MaxIterations: req.MaxIterations,
-		MaxBatch:      req.MaxBatch,
-		PoolCap:       req.PoolCap,
-		Seed:          req.Seed,
-		Workers:       req.Workers,
-		Cache:         cache,
-		OnIteration:   func(st core.IterationStats) { s.publish(toEvent(st)) },
+		Objectives:            len(p.Objectives),
+		RandomSamples:         req.RandomSamples,
+		MaxIterations:         req.MaxIterations,
+		MaxBatch:              req.MaxBatch,
+		PoolCap:               req.PoolCap,
+		Seed:                  req.Seed,
+		Workers:               req.Workers,
+		Cache:                 cache,
+		MaxUnmeasuredFraction: frac,
+		OnIteration:           func(st core.IterationStats) { s.publish(toEvent(st)) },
 	}
 	// validate() already resolved the strategy names, so the errors here
 	// are impossible; the explicit defaults are byte-identical to leaving
@@ -531,8 +554,8 @@ type Stats struct {
 	SessionTTLS float64 `json:"session_ttl_s"`
 	Problems    int     `json:"problems"`
 	// Workers reports the remote evaluation fleet's per-worker health
-	// counters (requests, failures, hedges, in-flight); absent when the
-	// daemon evaluates in-process.
+	// counters (requests, failures, hedges, in-flight, circuit-breaker
+	// state and trips); absent when the daemon evaluates in-process.
 	Workers []worker.WorkerStats `json:"workers,omitempty"`
 	// Persistent reports whether a data directory backs this daemon;
 	// Recovering counts resumed sessions still replaying their journals

@@ -477,3 +477,26 @@ func TestProblemsEndpoint(t *testing.T) {
 		t.Fatalf("space size = %d", probs[0].SpaceSize)
 	}
 }
+
+func TestMaxUnmeasuredFractionValidation(t *testing.T) {
+	_, ts := newTestServer(t, testProblem("toy", 0))
+	for _, body := range []string{
+		`{"problem":"toy","max_unmeasured_fraction":-0.1}`,
+		`{"problem":"toy","max_unmeasured_fraction":1.5}`,
+	} {
+		resp, err := http.Post(ts.URL+"/runs", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %s → %d, want 400", body, resp.StatusCode)
+		}
+	}
+	// An in-range tolerance is accepted and the run completes.
+	st := postRun(t, ts, RunRequest{Problem: "toy", Seed: 3, RandomSamples: 20,
+		MaxIterations: 1, Workers: 1, MaxUnmeasuredFraction: 0.5})
+	if final := waitTerminal(t, ts, st.ID); final.State != "done" {
+		t.Fatalf("tolerant run ended %q: %s", final.State, final.Error)
+	}
+}

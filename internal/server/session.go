@@ -68,6 +68,10 @@ type IterationEvent struct {
 	// CacheHits and CacheMisses count this round's memo-cache lookups.
 	CacheHits   int `json:"cache_hits"`
 	CacheMisses int `json:"cache_misses"`
+	// Unmeasured counts configurations this round tolerated away
+	// unmeasured under the run's max_unmeasured_fraction (0 on strict
+	// runs).
+	Unmeasured int `json:"unmeasured,omitempty"`
 	// Hypervolume is the measured front's hypervolume after this round
 	// (reference point: per-objective nadir padded by 10% of the observed
 	// range). It marshals as null while undefined — before any valid
@@ -170,6 +174,9 @@ type RunStatus struct {
 	// CacheHits and CacheMisses total the session's memo-cache lookups.
 	CacheHits   int `json:"cache_hits"`
 	CacheMisses int `json:"cache_misses"`
+	// Unmeasured totals the configurations tolerated away unmeasured
+	// across the run (graceful degradation; 0 on strict runs).
+	Unmeasured int `json:"unmeasured,omitempty"`
 	// Error carries the failure reason when State is "failed".
 	Error string `json:"error,omitempty"`
 	// Strategy echoes the resolved search-strategy pipeline this run
@@ -226,6 +233,7 @@ func toEvent(s core.IterationStats) IterationEvent {
 		OOBSamples:         s.OOBSamples,
 		CacheHits:          s.CacheHits,
 		CacheMisses:        s.CacheMisses,
+		Unmeasured:         s.Unmeasured,
 		Hypervolume:        jsonFloat(s.Hypervolume),
 		FitMS:              durationMS(s.FitTime),
 		EncodeMS:           durationMS(s.EncodeTime),
@@ -381,12 +389,14 @@ func (s *session) status() RunStatus {
 		st.Converged = s.result.Converged
 		st.CacheHits = s.result.CacheHits
 		st.CacheMisses = s.result.CacheMisses
+		st.Unmeasured = s.result.Unmeasured
 	} else if n := len(s.events); n > 0 {
 		st.Samples = s.events[n-1].TotalSamples
 		st.FrontSize = s.events[n-1].FrontSize
 		for _, ev := range s.events {
 			st.CacheHits += ev.CacheHits
 			st.CacheMisses += ev.CacheMisses
+			st.Unmeasured += ev.Unmeasured
 		}
 	}
 	if s.err != nil {

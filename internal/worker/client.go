@@ -7,8 +7,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"slices"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -33,8 +35,27 @@ type Options struct {
 	// 2). A chunk whose attempts are exhausted fails the batch; completed
 	// chunks are still returned.
 	Retries int
-	// RetryBackoff is the pause before each re-attempt (default 50ms).
+	// RetryBackoff is the base of the retry backoff (default 50ms): the
+	// pause before retry k is drawn uniformly from [0, RetryBackoff·2^(k−1)]
+	// capped at RetryBackoffCap — capped exponential backoff with full
+	// jitter, so simultaneous chunk failures (one sick worker fails many
+	// chunks at once) decorrelate instead of re-striking in lockstep.
 	RetryBackoff time.Duration
+	// RetryBackoffCap caps the grown backoff interval (default 2s).
+	RetryBackoffCap time.Duration
+	// BreakerThreshold is the consecutive-failure count that trips a
+	// worker's circuit breaker (default 5; negative disables breakers).
+	// A tripped worker is excluded from primary and hedge dispatch and
+	// re-probed via GET /healthz every ProbeInterval until healthy, at
+	// which point it is readmitted automatically. See breaker.go.
+	BreakerThreshold int
+	// ProbeInterval is the tripped-worker health-probe period (default 1s).
+	ProbeInterval time.Duration
+	// Seed seeds the pool's jitter rng; pools with equal seeds draw the
+	// same backoff schedule. The default (0) is fixed, not time-derived —
+	// jitter exists to decorrelate a pool's own concurrent chunks, which
+	// draw from one shared sequence either way.
+	Seed int64
 	// HedgeAfter is the straggler threshold: a request outstanding this
 	// long is re-dispatched to a second worker, first reply wins. 0
 	// derives the threshold adaptively from the observed completion-latency
@@ -59,11 +80,21 @@ type Options struct {
 }
 
 const (
-	defaultChunkSize      = 32
-	defaultRetries        = 2
-	defaultRetryBackoff   = 50 * time.Millisecond
-	defaultHedgeQuantile  = 0.95
-	defaultRequestTimeout = 15 * time.Minute
+	defaultChunkSize        = 32
+	defaultRetries          = 2
+	defaultRetryBackoff     = 50 * time.Millisecond
+	defaultRetryBackoffCap  = 2 * time.Second
+	defaultBreakerThreshold = 5
+	defaultProbeInterval    = time.Second
+	defaultHedgeQuantile    = 0.95
+	defaultRequestTimeout   = 15 * time.Minute
+	// maxShedWaits bounds how many 503 backpressure pauses one chunk will
+	// sit through without consuming its retry budget; past it shedding is
+	// treated as an ordinary failure so a permanently saturated fleet
+	// still fails the chunk instead of waiting forever.
+	maxShedWaits = 16
+	// maxShedPause caps a single honored Retry-After pause.
+	maxShedPause = 30 * time.Second
 	// hedgeMinSamples is how many completed requests the adaptive hedger
 	// needs before it trusts its latency window.
 	hedgeMinSamples = 8
@@ -87,15 +118,32 @@ type WorkerStats struct {
 	Hedges int64 `json:"hedges"`
 	// InFlight counts requests outstanding right now.
 	InFlight int64 `json:"in_flight"`
+	// Breaker is the circuit-breaker state: "closed", "open", or
+	// "half-open" (see breaker.go).
+	Breaker string `json:"breaker"`
+	// Trips counts closed→open breaker transitions since the pool was
+	// built.
+	Trips int64 `json:"trips"`
+	// LastError is the most recent request failure recorded against this
+	// worker; cleared when its breaker closes (readmission or a
+	// successful request).
+	LastError string `json:"last_error,omitempty"`
 }
 
-// workerState is one worker endpoint plus its health counters.
+// workerState is one worker endpoint plus its health counters and
+// circuit breaker.
 type workerState struct {
 	url      string
 	requests atomic.Int64
 	failures atomic.Int64
 	hedges   atomic.Int64
 	inflight atomic.Int64
+	trips    atomic.Int64
+
+	brkMu   sync.Mutex
+	brk     BreakerState
+	consec  int    // consecutive failures while closed
+	lastErr string // most recent failure; cleared on close
 }
 
 // Pool is a fleet of worker daemons plus the dispatch policy (sharding,
@@ -113,6 +161,14 @@ type Pool struct {
 
 	winMu   sync.Mutex
 	windows map[string]*latencyWindow // per-problem completion latencies
+
+	rngMu sync.Mutex
+	rng   *rand.Rand // seeded backoff-jitter draws
+
+	probeMu   sync.Mutex
+	probing   bool          // health-probe loop running (breaker.go)
+	done      chan struct{} // closed by Close; stops the probe loop
+	closeOnce sync.Once
 }
 
 // latencyWindow is one problem's sliding window of completion latencies,
@@ -146,6 +202,18 @@ func NewPool(urls []string, opts Options) (*Pool, error) {
 	if opts.RetryBackoff <= 0 {
 		opts.RetryBackoff = defaultRetryBackoff
 	}
+	if opts.RetryBackoffCap <= 0 {
+		opts.RetryBackoffCap = defaultRetryBackoffCap
+	}
+	if opts.RetryBackoffCap < opts.RetryBackoff {
+		opts.RetryBackoffCap = opts.RetryBackoff
+	}
+	if opts.BreakerThreshold == 0 {
+		opts.BreakerThreshold = defaultBreakerThreshold
+	}
+	if opts.ProbeInterval <= 0 {
+		opts.ProbeInterval = defaultProbeInterval
+	}
 	if opts.HedgeQuantile <= 0 || opts.HedgeQuantile >= 1 {
 		opts.HedgeQuantile = defaultHedgeQuantile
 	}
@@ -165,6 +233,8 @@ func NewPool(urls []string, opts Options) (*Pool, error) {
 		client:  client,
 		sem:     make(chan struct{}, opts.MaxInFlight),
 		windows: make(map[string]*latencyWindow),
+		rng:     rand.New(rand.NewSource(opts.Seed)),
+		done:    make(chan struct{}),
 	}
 	for _, u := range urls {
 		u = strings.TrimRight(strings.TrimSpace(u), "/")
@@ -188,16 +258,21 @@ func (p *Pool) Backend(problem string, objectives int) core.Backend {
 	return &remoteBackend{pool: p, problem: problem, objectives: objectives}
 }
 
-// Stats snapshots every worker's health counters, in pool order.
+// Stats snapshots every worker's health counters and breaker state, in
+// pool order.
 func (p *Pool) Stats() []WorkerStats {
 	out := make([]WorkerStats, len(p.workers))
 	for i, w := range p.workers {
+		state, trips, lastErr := p.breakerStats(i)
 		out[i] = WorkerStats{
-			URL:      w.url,
-			Requests: w.requests.Load(),
-			Failures: w.failures.Load(),
-			Hedges:   w.hedges.Load(),
-			InFlight: w.inflight.Load(),
+			URL:       w.url,
+			Requests:  w.requests.Load(),
+			Failures:  w.failures.Load(),
+			Hedges:    w.hedges.Load(),
+			InFlight:  w.inflight.Load(),
+			Breaker:   state,
+			Trips:     trips,
+			LastError: lastErr,
 		}
 	}
 	return out
@@ -278,18 +353,53 @@ type permanentError struct{ err error }
 func (e *permanentError) Error() string { return e.err.Error() }
 func (e *permanentError) Unwrap() error { return e.err }
 
+// backpressureError marks a 503 from a load-shedding worker (server.go's
+// shed limit): the worker is healthy but saturated, so the reply is
+// honored as backpressure — wait out the advertised Retry-After and
+// re-attempt without charging the retry budget, the failure counters, or
+// the circuit breaker.
+type backpressureError struct {
+	url   string
+	after time.Duration // advertised Retry-After; 0 when absent
+}
+
+func (e *backpressureError) Error() string {
+	return fmt.Sprintf("worker %s: 503: shedding load (retry after %v)", e.url, e.after)
+}
+
+// retryDelay returns the pause before retry attempt (1-based): full
+// jitter over an exponentially growing base capped at RetryBackoffCap,
+// i.e. uniform in [0, min(cap, RetryBackoff·2^(attempt−1))]. Randomizing
+// the whole interval (not just a fringe) is what breaks the thundering
+// herd of many chunks failing on the same worker at the same instant.
+func (p *Pool) retryDelay(attempt int) time.Duration {
+	base := p.opts.RetryBackoffCap
+	if shift := attempt - 1; shift >= 0 && shift < 20 {
+		if b := p.opts.RetryBackoff << shift; b < base {
+			base = b
+		}
+	}
+	p.rngMu.Lock()
+	defer p.rngMu.Unlock()
+	return time.Duration(p.rng.Int63n(int64(base) + 1))
+}
+
 // evalChunk runs one chunk to completion: up to 1+Retries hedged attempts,
 // each avoiding every worker that already failed this chunk (primaries and
 // hedge legs alike) while an untried one remains — so a healthy worker is
-// always reached before the budget can exhaust on known-bad ones. Permanent
-// (4xx) rejections are not retried.
+// always reached before the budget can exhaust on known-bad ones. Each
+// retry waits a jittered exponential backoff (retryDelay). Permanent
+// (4xx) rejections are not retried; 503 load-shed replies are waited out
+// without consuming the retry budget (up to maxShedWaits pauses).
 func (p *Pool) evalChunk(ctx context.Context, problem string, cfgs []param.Config) ([][]float64, error) {
 	var lastErr error
 	failed := make(map[int]bool) // workers that failed this chunk
+	var delay time.Duration
+	shedWaits := 0
 	for attempt := 0; attempt <= p.opts.Retries; attempt++ {
-		if attempt > 0 {
+		if delay > 0 {
 			select {
-			case <-time.After(p.opts.RetryBackoff):
+			case <-time.After(delay):
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			}
@@ -310,10 +420,22 @@ func (p *Pool) evalChunk(ctx context.Context, problem string, cfgs []param.Confi
 		if errors.As(err, &perm) {
 			return nil, fmt.Errorf("worker: chunk of %d configs rejected: %w", len(cfgs), err)
 		}
-		lastErr = err
 		for _, w := range attemptFailed {
 			failed[w] = true
 		}
+		var bp *backpressureError
+		if errors.As(err, &bp) && shedWaits < maxShedWaits {
+			// Load shedding is backpressure, not failure: honor the
+			// advertised pause (at least one base backoff, jittered) and
+			// re-attempt — against another worker first, since this one is
+			// in the failed set for the chunk — without spending a retry.
+			shedWaits++
+			attempt--
+			delay = min(max(bp.after, p.retryDelay(1)), maxShedPause)
+			continue
+		}
+		lastErr = err
+		delay = p.retryDelay(attempt + 1)
 	}
 	return nil, fmt.Errorf("worker: chunk of %d configs failed after %d attempts: %w",
 		len(cfgs), p.opts.Retries+1, lastErr)
@@ -337,13 +459,7 @@ func (p *Pool) attemptHedged(ctx context.Context, avoid map[int]bool, problem st
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel() // reels in the losing leg
 
-	type reply struct {
-		objs    [][]float64
-		err     error
-		worker  int
-		service time.Duration
-	}
-	replies := make(chan reply, 2)
+	replies := make(chan hedgeReply, 2)
 	// launch dispatches one leg; it reports false when no slot/context was
 	// available (hedge skipped, or ctx done during the primary's wait).
 	launch := func(worker int, hedge bool) bool {
@@ -369,10 +485,26 @@ func (p *Pool) attemptHedged(ctx context.Context, avoid map[int]bool, problem st
 			defer func() { <-p.sem }()
 			start := time.Now()
 			objs, err := p.post(cctx, w, problem, cfgs)
-			if err != nil && cctx.Err() == nil {
-				w.failures.Add(1)
+			switch {
+			case err == nil:
+				// Counts for the breaker whether this leg wins or loses:
+				// the worker completed real service either way.
+				p.recordSuccess(worker)
+			case cctx.Err() == nil:
+				var bp *backpressureError
+				if !errors.As(err, &bp) {
+					// Backpressure is a healthy worker protecting itself;
+					// everything else is a failure, for the counters and
+					// the breaker alike (permanent 4xx rejections are kept
+					// out of the breaker by recordFailure's caller below).
+					w.failures.Add(1)
+					var perm *permanentError
+					if !errors.As(err, &perm) {
+						p.recordFailure(worker, err)
+					}
+				}
 			}
-			replies <- reply{objs, err, worker, time.Since(start)}
+			replies <- hedgeReply{objs, err, worker, time.Since(start)}
 		}()
 		return true
 	}
@@ -394,13 +526,18 @@ func (p *Pool) attemptHedged(ctx context.Context, avoid map[int]bool, problem st
 			outstanding--
 			if r.err == nil {
 				p.window(problem).record(r.service)
+				if outstanding > 0 {
+					p.drainLosers(problem, replies, outstanding)
+				}
 				return r.objs, attemptFailed, nil
 			}
 			attemptFailed = append(attemptFailed, r.worker)
 			var perm *permanentError
 			if errors.As(r.err, &perm) {
 				// A protocol rejection is definitive for the whole fleet;
-				// do not wait for (or spend) a hedge leg on it.
+				// do not wait for (or spend) a hedge leg on it. The
+				// still-outstanding leg (if any) is cancelled by the
+				// deferred cancel and drains through the buffered channel.
 				return nil, attemptFailed, r.err
 			}
 			lastErr = r.err
@@ -423,6 +560,32 @@ func (p *Pool) attemptHedged(ctx context.Context, avoid map[int]bool, problem st
 			return nil, attemptFailed, ctx.Err()
 		}
 	}
+}
+
+// hedgeReply is one leg's outcome in a hedged attempt.
+type hedgeReply struct {
+	objs    [][]float64
+	err     error
+	worker  int
+	service time.Duration
+}
+
+// drainLosers collects the outstanding legs of a decided hedged attempt
+// in the background. A loser that completed successfully before the
+// winner's cancellation landed did real, measurable service — its
+// duration feeds the latency window exactly once (here, and only here:
+// the winner path above records only the winning leg), so a worker's
+// hedge losses count as completions in the health snapshot instead of
+// vanishing from it. Cancelled or failed losers were already accounted
+// for by the launch goroutine.
+func (p *Pool) drainLosers(problem string, replies <-chan hedgeReply, outstanding int) {
+	go func() {
+		for i := 0; i < outstanding; i++ {
+			if r := <-replies; r.err == nil {
+				p.window(problem).record(r.service)
+			}
+		}
+	}()
 }
 
 // post sends one evaluation request and decodes the reply. The caller
@@ -453,6 +616,12 @@ func (p *Pool) post(ctx context.Context, w *workerState, problem string, cfgs []
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			// A load-shedding worker (or a drain-mode proxy in front of
+			// one): backpressure, not an outage. Honored by evalChunk
+			// without charging retries, failures, or the breaker.
+			return nil, &backpressureError{url: w.url, after: parseRetryAfter(resp.Header.Get("Retry-After"))}
+		}
 		var e ErrorResponse
 		msg := resp.Status
 		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e) == nil && e.Error != "" {
@@ -482,14 +651,38 @@ func (p *Pool) post(ctx context.Context, w *workerState, problem string, cfgs []
 	return out.Objectives, nil
 }
 
-// pick returns the next worker index round-robin, skipping the avoid set
-// while an alternative exists; with every worker avoided it degrades to
-// plain round-robin rather than spinning.
+// parseRetryAfter reads a Retry-After header's delay-seconds form; 0 when
+// absent or unparseable (the HTTP-date form is not worth supporting for
+// an intra-fleet protocol).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// pick returns the next worker index round-robin, preferring workers that
+// are neither in the avoid set nor tripped by their circuit breaker.
+// Tripped workers supersede the per-chunk avoid set — they are skipped
+// before a chunk ever fails on them — but only while an alternative
+// exists: with every candidate tripped, pick degrades to avoid-only
+// round-robin (an all-open fleet must keep receiving traffic, since a
+// success is what readmits a worker fastest), and with everything
+// avoided too it degrades to plain round-robin rather than spinning.
 func (p *Pool) pick(avoid map[int]bool) int {
 	n := len(p.workers)
 	start := int(p.cursor.Add(1)-1) % n
 	if start < 0 {
 		start += n // cursor wrap: Add is modular int64 arithmetic
+	}
+	for i := 0; i < n; i++ {
+		if w := (start + i) % n; !avoid[w] && !p.tripped(w) {
+			return w
+		}
 	}
 	for i := 0; i < n; i++ {
 		if w := (start + i) % n; !avoid[w] {

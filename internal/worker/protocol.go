@@ -53,6 +53,12 @@ type Health struct {
 	// InFlight counts configurations being measured right now. (Same
 	// JSON name as the coordinator's per-worker stats counter.)
 	InFlight int64 `json:"in_flight"`
+	// Shed counts evaluate requests answered 503 by load shedding (the
+	// worker's shed limit; see Server.SetShedLimit).
+	Shed int64 `json:"shed,omitempty"`
+	// Draining reports a worker whose GET /readyz has been flipped
+	// not-ready ahead of shutdown; evaluation keeps serving meanwhile.
+	Draining bool `json:"draining,omitempty"`
 	// UptimeS is seconds since the worker started.
 	UptimeS float64 `json:"uptime_s"`
 }

@@ -53,6 +53,16 @@ type Server struct {
 	started     time.Time
 	evals       atomic.Int64
 	inflight    atomic.Int64
+
+	// shedLimit caps concurrent POST /evaluate requests (SetShedLimit);
+	// past it the worker answers 503 + Retry-After instead of queueing.
+	// 0 never sheds. shed counts shed requests; reqs the concurrent ones.
+	shedLimit atomic.Int64
+	shed      atomic.Int64
+	reqs      atomic.Int64
+	// draining flips GET /readyz to 503 (SetDraining) so load balancers
+	// stop routing here ahead of shutdown; /evaluate keeps serving.
+	draining atomic.Bool
 }
 
 // NewServer returns a worker with no problems registered. evalWorkers
@@ -68,6 +78,21 @@ func NewServer(evalWorkers int) *Server {
 		started:     time.Now(),
 	}
 }
+
+// SetShedLimit bounds concurrent POST /evaluate requests: past the limit
+// the worker sheds load, answering 503 with a Retry-After header, which
+// the pool client honors as backpressure (wait and re-dispatch) rather
+// than failure. 0 — the default — never sheds. Shedding is how a worker
+// stays responsive (health probes, problem registration) when a burst of
+// coordinators outpaces its evaluation capacity.
+func (s *Server) SetShedLimit(n int) { s.shedLimit.Store(int64(n)) }
+
+// SetDraining flips the GET /readyz readiness signal: a draining worker
+// answers 503 there so load balancers stop routing new coordinators to
+// it, while /evaluate and /healthz keep serving — in-flight batches
+// finish, and circuit-breaker health probes still see a live process.
+// The worker daemon sets this on SIGTERM, before its drain grace period.
+func (s *Server) SetDraining(d bool) { s.draining.Store(d) }
 
 // SetSpecLoader enables POST /problems: fn turns a raw problem-spec
 // document into a registrable Problem. With no loader the endpoint answers
@@ -119,8 +144,18 @@ func (s *Server) Handler() http.Handler {
 			Problems:    names,
 			Evaluations: s.evals.Load(),
 			InFlight:    s.inflight.Load(),
+			Shed:        s.shed.Load(),
+			Draining:    s.draining.Load(),
 			UptimeS:     time.Since(s.started).Seconds(),
 		})
+	})
+
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]bool{"ready": false, "draining": true})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ready": true})
 	})
 
 	mux.HandleFunc("GET /problems", func(w http.ResponseWriter, r *http.Request) {
@@ -184,6 +219,19 @@ func (s *Server) handleRegisterSpec(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	// Load shedding first, before any body is read: a saturated worker's
+	// cheapest move is refusing early. The check-then-add pair is racy by
+	// design — admitting one or two extra requests under contention is
+	// harmless; the limit is a pressure valve, not an exact quota.
+	if lim := s.shedLimit.Load(); lim > 0 && s.reqs.Load() >= lim {
+		s.shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable,
+			fmt.Errorf("worker saturated (%d evaluate requests in flight); retry shortly", lim))
+		return
+	}
+	s.reqs.Add(1)
+	defer s.reqs.Add(-1)
 	r.Body = http.MaxBytesReader(w, r.Body, maxEvaluateBody)
 	var req EvaluateRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
