@@ -31,6 +31,18 @@
 // configurations per batch instead of failing outright. GET /stats
 // exposes per-worker breaker state and trip counts.
 //
+// With -max-concurrent-runs the daemon becomes an explicitly multi-tenant
+// coordinator: runs are admitted through a fair-share scheduler
+// (internal/sched) that bounds fleet concurrency, enforces per-tenant
+// quotas, queues overflow per tenant (state "queued"), rejects past the
+// queue bound with 429 + Retry-After, and merges concurrent runs'
+// evaluation batches onto the shared backend. Tenants identify themselves
+// via the request body's "tenant" field or the X-Tenant / X-API-Key
+// headers:
+//
+//	hypermapperd -addr :8089 -max-concurrent-runs 8 -tenant-max-running 4 -tenant-max-queued 16
+//	curl -s -X POST localhost:8089/runs -H 'X-Tenant: alice' -d '{"problem":"synthetic","seed":1,"priority":5}'
+//
 // Beyond the builtin catalog, declarative problem specs (docs/SCENARIOS.md)
 // extend what the daemon serves: -problems <dir> loads every *.json spec at
 // startup, POST /problems registers one at runtime, and -validate checks a
@@ -66,6 +78,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/core"
 	"repro/internal/param"
+	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/worker"
 )
@@ -99,6 +112,17 @@ func main() {
 			"how often tripped workers are health-probed for readmission (0 selects the default)")
 		maxUnmeasured = flag.Float64("max-unmeasured", 0,
 			"default per-batch fraction of configurations a run may leave unmeasured before failing, 0..1 (requests can override)")
+
+		maxConcurrentRuns = flag.Int("max-concurrent-runs", 0,
+			"fleet-wide cap on concurrently running sessions; setting it enables the multi-tenant fair-share scheduler (0 = no scheduler: every accepted run starts immediately)")
+		tenantMaxRunning = flag.Int("tenant-max-running", 0,
+			"per-tenant concurrent-run quota under the scheduler (0 = bounded only by -max-concurrent-runs)")
+		tenantMaxQueued = flag.Int("tenant-max-queued", 0,
+			"per-tenant admission-queue depth; submissions past it are rejected with 429 + Retry-After (0 selects the default)")
+		retryAfter = flag.Duration("retry-after", 0,
+			"backoff hint attached to 429 queue-full rejections (0 selects the default)")
+		coalesceWindow = flag.Duration("coalesce-window", 0,
+			"under the scheduler, how long a run's evaluation batch waits to merge with concurrent runs' batches before dispatch (0 selects the default, negative disables merging)")
 
 		problemsDir = flag.String("problems", "",
 			"directory of declarative problem specs (*.json, docs/SCENARIOS.md) to load at startup")
@@ -181,6 +205,19 @@ func main() {
 		fatalf("-max-unmeasured %g must be in [0, 1]", f)
 	}
 	cfg.MaxUnmeasuredFraction = *maxUnmeasured
+	if *maxConcurrentRuns > 0 {
+		cfg.Sched = &sched.Config{
+			MaxRunning: *maxConcurrentRuns,
+			Quota: sched.TenantQuota{
+				MaxRunning: *tenantMaxRunning,
+				MaxQueued:  *tenantMaxQueued,
+			},
+			RetryAfter:     *retryAfter,
+			CoalesceWindow: *coalesceWindow,
+		}
+	} else if *tenantMaxRunning > 0 || *tenantMaxQueued > 0 || *coalesceWindow != 0 {
+		fatalf("-tenant-max-running, -tenant-max-queued, and -coalesce-window require -max-concurrent-runs")
+	}
 	if *workers != "" {
 		urls := strings.Split(*workers, ",")
 		pool, err := worker.NewPool(urls, worker.Options{
@@ -215,6 +252,9 @@ func main() {
 	}
 	if *dataDir != "" {
 		mode += ", durable state in " + *dataDir
+	}
+	if cfg.Sched != nil {
+		mode += fmt.Sprintf(", scheduler: %d run slots", cfg.Sched.MaxRunning)
 	}
 	infof("listening on %s (%d problems, %s)", *addr, len(mgr.Problems()), mode)
 

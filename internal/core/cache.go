@@ -30,6 +30,10 @@ type EvalCache struct {
 	spaces map[string]*spaceCache
 	hits   atomic.Int64
 	misses atomic.Int64
+	// coalesced counts the subset of hits that were resolved by waiting on
+	// another run's in-flight evaluation of the same configuration — the
+	// cross-run singleflight dedup the scheduler's coalescing exploits.
+	coalesced atomic.Int64
 
 	// dir, when non-empty, spills memoized entries to one JSON-lines file
 	// per space namespace and pre-loads them on first use; see
@@ -167,6 +171,7 @@ func (v *evalCacheView) fetchBatch(ctx context.Context, idxs []int64, cfgs []par
 	for i := range pending {
 		pending[i] = i
 	}
+	var waited map[int]bool // positions that waited on another run's in-flight eval
 	for len(pending) > 0 {
 		var lead []int // positions this call evaluates
 		var waits []int
@@ -178,11 +183,20 @@ func (v *evalCacheView) fetchBatch(ctx context.Context, idxs []int64, cfgs []par
 				objs[i] = append([]float64(nil), cached...)
 				hits++
 				v.c.hits.Add(1)
+				if waited[i] {
+					// Served by the evaluation another run had in flight
+					// when we first looked: a cross-run coalesce hit.
+					v.c.coalesced.Add(1)
+				}
 				continue
 			}
 			if ch, inflight := v.s.inflight[idx]; inflight {
 				waits = append(waits, i)
 				waitCh = append(waitCh, ch)
+				if waited == nil {
+					waited = make(map[int]bool)
+				}
+				waited[i] = true
 				continue
 			}
 			v.s.inflight[idx] = make(chan struct{})
@@ -249,6 +263,11 @@ func (c *EvalCache) Hits() int64 { return c.hits.Load() }
 
 // Misses returns the number of lookups that had to evaluate.
 func (c *EvalCache) Misses() int64 { return c.misses.Load() }
+
+// CoalesceHits returns the subset of Hits resolved by waiting on another
+// run's in-flight evaluation of the same configuration (the cross-run
+// singleflight path), rather than from an already memoized entry.
+func (c *EvalCache) CoalesceHits() int64 { return c.coalesced.Load() }
 
 // Len returns the number of memoized configurations across all spaces.
 func (c *EvalCache) Len() int {

@@ -14,6 +14,15 @@ type MarketDevice struct {
 	SoC string
 }
 
+// RelativeSpeed returns the device's overall slowdown relative to the
+// ODROID-XU3 reference: 1.0 is reference speed, 2.0 takes twice as long.
+// Crowd simulators (cmd/loadharness) scale per-client latency and
+// think-time distributions by it, so a simulated population inherits the
+// market's heavy-tailed speed spread.
+func (d MarketDevice) RelativeSpeed() float64 {
+	return d.DefaultNs / ODROIDXU3().DefaultNs
+}
+
 // socFamily is a template the market generator perturbs.
 type socFamily struct {
 	name        string

@@ -6,11 +6,48 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/sched"
 	"repro/internal/worker"
 )
+
+// decodeRunRequest parses a POST /runs body and applies the tenant-header
+// fallback: a tenant set in the body wins; otherwise the X-Tenant header,
+// then the X-API-Key header, identify the submitter. A request with no
+// identity at all runs under the shared anonymous tenant (see
+// RunRequest.tenant). Split out of the handler so the decoder — the daemon's
+// most attacker-exposed parser — is directly fuzzable.
+func decodeRunRequest(body io.Reader, hdr http.Header) (RunRequest, error) {
+	var req RunRequest
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		return RunRequest{}, fmt.Errorf("parsing request: %w", err)
+	}
+	if req.Tenant == "" {
+		if t := hdr.Get("X-Tenant"); t != "" {
+			req.Tenant = t
+		} else if k := hdr.Get("X-API-Key"); k != "" {
+			req.Tenant = k
+		}
+	}
+	return req, nil
+}
+
+// retryAfterSeconds renders the scheduler's backoff hint for the
+// Retry-After header (integer seconds, minimum 1).
+func (m *Manager) retryAfterSeconds() string {
+	d := sched.DefaultRetryAfter
+	if m.cfg.Sched != nil {
+		d = m.cfg.Sched.RetryAfterHint()
+	}
+	secs := int(d.Round(time.Second) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(secs)
+}
 
 // probJSON is one GET /problems entry (and the POST /problems success
 // body): identity plus enough per-parameter detail for a client to render
@@ -125,9 +162,9 @@ func (m *Manager) Handler() http.Handler {
 		// A RunRequest is a handful of scalars; cap the body so one client
 		// cannot buffer gigabytes into the shared daemon.
 		r.Body = http.MaxBytesReader(w, r.Body, 1<<16)
-		var req RunRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("parsing request: %w", err))
+		req, err := decodeRunRequest(r.Body, r.Header)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
 			return
 		}
 		// Start returns the created status directly: re-fetching it from
@@ -142,6 +179,12 @@ func (m *Manager) Handler() http.Handler {
 				code = http.StatusServiceUnavailable
 			case errors.Is(err, ErrStorage):
 				code = http.StatusInternalServerError
+			case errors.Is(err, sched.ErrQueueFull):
+				// Backpressure: the tenant's admission queue is full. The
+				// Retry-After hint tells well-behaved clients when to come
+				// back; nothing was created or persisted.
+				w.Header().Set("Retry-After", m.retryAfterSeconds())
+				code = http.StatusTooManyRequests
 			}
 			writeError(w, code, err)
 			return

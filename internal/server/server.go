@@ -39,9 +39,11 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unicode/utf8"
 
 	"repro/internal/core"
 	"repro/internal/param"
+	"repro/internal/sched"
 	"repro/internal/worker"
 )
 
@@ -113,6 +115,28 @@ type RunRequest struct {
 	// Strategy selects the search-strategy pipeline; the zero value is the
 	// default pipeline and changes nothing.
 	Strategy StrategyRequest `json:"strategy"`
+	// Tenant identifies the submitting tenant for fair-share scheduling and
+	// quotas. The HTTP layer falls back to the X-Tenant and then X-API-Key
+	// headers when the body leaves it empty; a run with no identity at all
+	// is admitted under the shared "anonymous" tenant. Ignored (but still
+	// echoed) on daemons without a scheduler.
+	Tenant string `json:"tenant,omitempty"`
+	// Priority orders this run within its own tenant's admission queue
+	// (higher dispatches first, FIFO within a class). Priority never crosses
+	// tenant boundaries, so it cannot be used to starve other tenants.
+	Priority int `json:"priority,omitempty"`
+}
+
+// anonymousTenant is the shared admission identity for requests that carry
+// no tenant at all.
+const anonymousTenant = "anonymous"
+
+// tenant returns the admission identity for the request.
+func (r RunRequest) tenant() string {
+	if r.Tenant == "" {
+		return anonymousTenant
+	}
+	return r.Tenant
 }
 
 // ErrUnknownProblem reports a RunRequest naming an unregistered problem.
@@ -134,6 +158,8 @@ const (
 	maxRequestSamples    = 1_000_000
 	maxRequestPoolCap    = 10_000_000
 	maxRequestWorkers    = 256
+	maxTenantLen         = 128
+	maxRequestPriority   = 1000
 )
 
 func (r RunRequest) validate() error {
@@ -158,6 +184,20 @@ func (r RunRequest) validate() error {
 	}
 	if f := r.MaxUnmeasuredFraction; f < 0 || f > 1 {
 		return fmt.Errorf("max_unmeasured_fraction %g must be in [0, 1]", f)
+	}
+	if len(r.Tenant) > maxTenantLen {
+		return fmt.Errorf("tenant id exceeds %d bytes", maxTenantLen)
+	}
+	if strings.ContainsFunc(r.Tenant, func(c rune) bool { return c < 0x20 || c == 0x7f }) {
+		return errors.New("tenant id must not contain control characters")
+	}
+	if !utf8.ValidString(r.Tenant) {
+		// JSON re-encoding replaces invalid bytes with U+FFFD, so such an
+		// id would not survive the status echo; refuse it outright.
+		return errors.New("tenant id must be valid UTF-8")
+	}
+	if r.Priority < -maxRequestPriority || r.Priority > maxRequestPriority {
+		return fmt.Errorf("priority %d must be in [%d, %d]", r.Priority, -maxRequestPriority, maxRequestPriority)
 	}
 	if _, err := core.NewSampler(r.Strategy.Sampler); err != nil {
 		return err
@@ -244,6 +284,21 @@ type Config struct {
 	// Logf, when non-nil, receives durability-layer diagnostics (recovery
 	// progress, resume refusals, persistence errors).
 	Logf func(format string, args ...any)
+	// Sched, when non-nil, puts every new run through the multi-tenant
+	// fair-share scheduler: runs are admitted immediately, queued (state
+	// "queued") when their tenant is at quota or the fleet is saturated, or
+	// rejected with 429 + Retry-After when the tenant's queue is full. It
+	// also enables cross-run evaluation-batch coalescing onto the shared
+	// backend (see sched.Coalescer); with a nil EvalPool, coalesced batches
+	// evaluate in-process bounded by GOMAXPROCS rather than by each run's
+	// Workers field. Nil preserves the historical behavior: every accepted
+	// run starts immediately, with no concurrency bound.
+	//
+	// Two scheduler caveats: resumed runs (Resume) relaunch outside the
+	// scheduler so recovery can never deadlock behind queued work, and
+	// NoCache runs still go through batch coalescing (merging dedups within
+	// a dispatch, not across time, so fresh measurements stay fresh).
+	Sched *sched.Config
 }
 
 func (c Config) janitorInterval() time.Duration {
@@ -266,6 +321,8 @@ type Manager struct {
 	closed   bool                       // Shutdown has begun; no new sessions
 
 	cfg        Config
+	sched      *sched.Scheduler // nil unless cfg.Sched is set
+	coalesce   *sched.Group     // nil unless cfg.Sched is set
 	store      SessionStore
 	evictMu    sync.Mutex   // serializes eviction passes (janitor vs Start)
 	evictedTTL atomic.Int64 // sessions evicted by TTL expiry
@@ -305,6 +362,10 @@ func NewManagerConfig(cfg Config, problems ...Problem) *Manager {
 	if cfg.DataDir != "" {
 		m.store = newPersistentStore(cfg.Shards, cfg.DataDir)
 	}
+	if cfg.Sched != nil {
+		m.sched = sched.New(*cfg.Sched)
+		m.coalesce = sched.NewGroup(cfg.Sched.CoalesceWindow)
+	}
 	for _, p := range problems {
 		m.Register(p)
 	}
@@ -336,6 +397,14 @@ func (m *Manager) Register(p Problem) {
 	if old := m.caches[p.Name]; old != nil {
 		if err := old.RemoveSpill(); err != nil {
 			m.logf("problem %q: removing stale cache spill: %v", p.Name, err)
+		}
+	}
+	if m.coalesce != nil {
+		// Mirror the cache reset: the replaced problem's coalescer wraps the
+		// old evaluator's backend, so in-flight merges must not be joined by
+		// runs over the new one.
+		if old, ok := m.problems[p.Name]; ok {
+			m.coalesce.Drop(old.Space, len(old.Objectives))
 		}
 	}
 	m.problems[p.Name] = p
@@ -395,6 +464,10 @@ func (m *Manager) Cache(problem string) (*core.EvalCache, bool) {
 // Start launches one exploration session and returns its initial status.
 // The status is taken before the session enters the store: with eviction
 // enabled, a later lookup by id is allowed to miss.
+//
+// With a scheduler configured (Config.Sched), Start is the admission path:
+// the run may come back "queued" instead of "running", and a submission
+// past the tenant's queue bound fails with sched.ErrQueueFull (HTTP 429).
 func (m *Manager) Start(req RunRequest) (RunStatus, error) {
 	if err := req.validate(); err != nil {
 		return RunStatus{}, err
@@ -421,36 +494,107 @@ func (m *Manager) Start(req RunRequest) (RunStatus, error) {
 		problem: p,
 		created: time.Now(),
 		cancel:  cancel,
+		runCtx:  ctx,
+		cache:   cache,
 		req:     req,
 		state:   StateRunning,
 	}
 	m.wg.Add(1)
 	m.mu.Unlock()
 
-	opts := m.buildOpts(p, req, cache, s)
-	if m.cfg.DataDir != "" {
-		// Persist the run's identity and open its journal before the session
-		// becomes visible: once a client sees the id, a crash at any later
-		// instant leaves a recoverable directory.
-		if err := m.persistStart(s, core.RunFingerprint(p.Space, opts)); err != nil {
-			m.wg.Done()
-			cancel()
-			return RunStatus{}, fmt.Errorf("%w: %v", ErrStorage, err)
+	if m.sched == nil {
+		// Unscheduled manager: every accepted run starts immediately
+		// (the historical behavior small deployments and tests rely on).
+		opts := m.buildOpts(p, req, cache, s)
+		if m.cfg.DataDir != "" {
+			// Persist the run's identity and open its journal before the
+			// session becomes visible: once a client sees the id, a crash at
+			// any later instant leaves a recoverable directory.
+			if err := m.persistStart(s, core.RunFingerprint(p.Space, opts)); err != nil {
+				m.wg.Done()
+				cancel()
+				return RunStatus{}, fmt.Errorf("%w: %v", ErrStorage, err)
+			}
+			opts.Journal = sessionRecorder{s}
 		}
-		opts.Journal = sessionRecorder{s}
+		st := s.status()
+		m.store.Put(s)
+		m.enforceCap()
+		go m.runSession(s, opts, nil)
+		return st, nil
 	}
+
+	// Scheduled admission. The session is visible immediately — queued or
+	// running — but nothing touches the data directory until dispatch: a
+	// rejected, queue-cancelled, or shutdown-dropped run must leave no
+	// on-disk trace (persistence happens in dispatch, after admission).
+	s.mu.Lock()
+	s.state = StateQueued
+	s.mu.Unlock()
+	ticket, err := m.sched.Submit(req.tenant(), req.Priority,
+		func(t *sched.Ticket) { m.dispatch(s, t) },
+		func(*sched.Ticket) {
+			// Dropped while queued by scheduler Close: no engine goroutine
+			// ever existed, so release the waitgroup slot here.
+			s.finish(nil, context.Canceled)
+			cancel()
+			m.wg.Done()
+		})
+	if err != nil {
+		m.wg.Done()
+		cancel()
+		if errors.Is(err, sched.ErrClosed) {
+			return RunStatus{}, ErrShuttingDown
+		}
+		return RunStatus{}, err
+	}
+	s.ticket = ticket
 	st := s.status()
 	m.store.Put(s)
 	m.enforceCap()
-
-	go func() {
-		defer m.wg.Done()
-		res, err := core.RunContext(ctx, p.Space, p.Eval, opts)
-		s.finish(res, err)
-		m.persistTerminal(s)
-		cancel()
-	}()
 	return st, nil
+}
+
+// dispatch launches a scheduler-admitted session: it persists the run (S6:
+// only now — admission rejections never touch the disk), flips it to
+// running, and starts the engine goroutine. Called synchronously from
+// Submit on immediate admission, or from whatever goroutine freed the slot.
+func (m *Manager) dispatch(s *session, t *sched.Ticket) {
+	if m.isClosed() {
+		// A slot freed during shutdown dispatched us; the engine must not
+		// start now.
+		s.finish(nil, context.Canceled)
+		s.cancel()
+		m.sched.Done(t)
+		m.wg.Done()
+		return
+	}
+	opts := m.buildOpts(s.problem, s.req, s.cache, s)
+	if m.cfg.DataDir != "" {
+		if err := m.persistStart(s, core.RunFingerprint(s.problem.Space, opts)); err != nil {
+			s.finish(nil, fmt.Errorf("%w: %v", ErrStorage, err))
+			s.cancel()
+			m.sched.Done(t)
+			m.wg.Done()
+			return
+		}
+		opts.Journal = sessionRecorder{s}
+	}
+	s.setRunning()
+	go m.runSession(s, opts, t)
+}
+
+// runSession is the engine goroutine shared by both admission paths; t is
+// the scheduler ticket to release (nil on unscheduled managers).
+func (m *Manager) runSession(s *session, opts core.Options, t *sched.Ticket) {
+	defer m.wg.Done()
+	res, err := core.RunContext(s.runCtx, s.problem.Space, s.problem.Eval, opts)
+	s.finish(res, err)
+	m.persistTerminal(s)
+	if t != nil {
+		m.sched.Done(t)
+	}
+	s.cancel()
 }
 
 // buildOpts assembles the engine options for a request — shared by Start
@@ -492,6 +636,17 @@ func (m *Manager) buildOpts(p Problem, req RunRequest, cache *core.EvalCache, s 
 		// the objective count pins the fleet to this daemon's catalog.
 		opts.Backend = m.cfg.EvalPool.Backend(p.Name, len(p.Objectives))
 	}
+	if m.coalesce != nil {
+		// Scheduled daemons merge concurrent runs' evaluation batches onto
+		// one shared backend per space (cross-run coalescing). The shared
+		// local backend runs with the default worker bound (GOMAXPROCS)
+		// since a merged batch serves many runs' Workers settings at once.
+		inner := opts.Backend
+		if inner == nil {
+			inner = &core.LocalBackend{Eval: p.Eval}
+		}
+		opts.Backend = m.coalesce.For(p.Space, len(p.Objectives), inner)
+	}
 	return opts
 }
 
@@ -522,6 +677,17 @@ func (m *Manager) Cancel(id string) (RunStatus, bool) {
 	s, ok := m.store.Get(id)
 	if !ok {
 		return RunStatus{}, false
+	}
+	if t := s.ticket; t != nil && t.Cancel() {
+		// Withdrawn while still queued: the scheduler guarantees the start
+		// callback will never run, so no engine goroutine and no run
+		// directory exist — finish the session here and release its
+		// waitgroup slot. The scheduler lock arbitrates the race with
+		// dispatch; exactly one side wins.
+		s.finish(nil, context.Canceled)
+		s.cancel()
+		m.wg.Done()
+		return s.status(), true
 	}
 	// The session pointer stays valid even if eviction removes it from
 	// the store between these two lines.
@@ -565,6 +731,30 @@ type Stats struct {
 	Persistent       bool  `json:"persistent"`
 	Recovering       int64 `json:"recovering"`
 	CacheSpillErrors int64 `json:"cache_spill_errors"`
+	// Queued counts retained sessions waiting for scheduler admission
+	// (always 0 on unscheduled daemons).
+	Queued int `json:"queued"`
+	// Sched reports the multi-tenant scheduler's admission accounting —
+	// per-tenant running/queued/rejected counts, queue-depth high-water
+	// mark, and admission-wait quantiles; absent when no scheduler is
+	// configured.
+	Sched *sched.Stats `json:"sched,omitempty"`
+	// Coalesce reports cross-run evaluation-batch merging (calls vs
+	// flushes, configs deduplicated inside merges); absent when no
+	// scheduler is configured.
+	Coalesce *sched.CoalesceStats `json:"coalesce,omitempty"`
+	// CacheHits / CacheMisses / CacheCoalesceHits total memo-cache lookups
+	// across every problem cache; CacheCoalesceHits is the subset of hits
+	// resolved by waiting on another run's in-flight evaluation (cross-run
+	// singleflight).
+	CacheHits         int64 `json:"cache_hits"`
+	CacheMisses       int64 `json:"cache_misses"`
+	CacheCoalesceHits int64 `json:"cache_coalesce_hits"`
+	// PoolBatches and PoolBatchConfigs count backend-level dispatches to
+	// the remote evaluation fleet and the configurations they carried;
+	// absent (0) when the daemon evaluates in-process.
+	PoolBatches      int64 `json:"pool_batches,omitempty"`
+	PoolBatchConfigs int64 `json:"pool_batch_configs,omitempty"`
 }
 
 // Stats reports store occupancy, eviction counters, and the lifecycle
@@ -583,10 +773,22 @@ func (m *Manager) Stats() Stats {
 	}
 	if m.cfg.EvalPool != nil {
 		st.Workers = m.cfg.EvalPool.Stats()
+		st.PoolBatches, st.PoolBatchConfigs = m.cfg.EvalPool.BatchStats()
+	}
+	if m.sched != nil {
+		ss := m.sched.Stats()
+		st.Sched = &ss
+	}
+	if m.coalesce != nil {
+		cs := m.coalesce.Stats()
+		st.Coalesce = &cs
 	}
 	m.mu.Lock()
 	for _, c := range m.caches {
 		st.CacheSpillErrors += c.SpillErrors()
+		st.CacheHits += c.Hits()
+		st.CacheMisses += c.Misses()
+		st.CacheCoalesceHits += c.CoalesceHits()
 	}
 	m.mu.Unlock()
 	if st.Shards < 1 {
@@ -594,9 +796,12 @@ func (m *Manager) Stats() Stats {
 	}
 	for _, s := range m.store.Snapshot() {
 		st.Sessions++
-		if state, _ := s.terminalInfo(); state.Terminal() {
+		switch state, _ := s.terminalInfo(); {
+		case state == StateQueued:
+			st.Queued++
+		case state.Terminal():
 			st.Terminal++
-		} else {
+		default:
 			st.Running++
 		}
 	}
@@ -611,6 +816,12 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	m.closed = true // every wg.Add happened-before this; Wait is now safe
 	m.mu.Unlock()
+	if m.sched != nil {
+		// Drop every queued ticket first (their abort callbacks finish the
+		// sessions and release waitgroup slots); dispatched runs are
+		// cancelled via the base context below, exactly like before.
+		m.sched.Close()
+	}
 	if m.cfg.DataDir != "" {
 		for _, s := range m.store.Snapshot() {
 			if state, _ := s.terminalInfo(); !state.Terminal() {

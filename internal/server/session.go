@@ -12,12 +12,17 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/journal"
+	"repro/internal/sched"
 )
 
 // State enumerates a session's lifecycle.
 type State string
 
 const (
+	// StateQueued marks a session admitted by the scheduler but waiting for
+	// a free slot: its tenant is at quota or the fleet is saturated. The
+	// engine has not started; nothing is persisted yet.
+	StateQueued State = "queued"
 	// StateRunning marks a session whose exploration is still in progress.
 	StateRunning State = "running"
 	// StateRecovering marks an interrupted session the daemon is rebuilding
@@ -38,7 +43,9 @@ const (
 )
 
 // Terminal reports whether no further progress events can arrive.
-func (s State) Terminal() bool { return s != StateRunning && s != StateRecovering }
+func (s State) Terminal() bool {
+	return s != StateRunning && s != StateRecovering && s != StateQueued
+}
 
 // IterationEvent is one progress record: the bootstrap (iteration 0) or an
 // active-learning round. The *_ms fields are the engine's per-phase
@@ -165,6 +172,10 @@ type RunStatus struct {
 	Problem string    `json:"problem"`
 	State   State     `json:"state"`
 	Created time.Time `json:"created"`
+	// Tenant and Priority echo the admission identity the run was
+	// scheduled under (empty/0 on unscheduled managers).
+	Tenant   string `json:"tenant,omitempty"`
+	Priority int    `json:"priority,omitempty"`
 	// Samples and FrontSize summarize progress: evaluated configurations
 	// and the current measured-front size (from the final result once
 	// terminal, else from the latest progress event).
@@ -197,6 +208,15 @@ type session struct {
 	// req is the originating run request, persisted in meta.json so a
 	// restarted daemon can rebuild identical engine options for resume.
 	req RunRequest
+	// runCtx is the run's context (a child of the manager's base context)
+	// and cache the memo-cache resolved at submission; both are fixed
+	// before the session becomes visible. ticket is the scheduler admission
+	// handle — nil on unscheduled managers and on resumed runs, which
+	// relaunch outside the scheduler. It is written once before store.Put
+	// publishes the session, so readers see it safely.
+	runCtx context.Context
+	cache  *core.EvalCache
+	ticket *sched.Ticket
 	// jw is the run's evaluation journal; nil when the manager has no data
 	// directory, and for sessions restored already-terminal.
 	jw *journal.Writer
@@ -284,6 +304,16 @@ func (s *session) finish(res *core.Result, err error) {
 	s.wakeLocked()
 	s.mu.Unlock()
 	s.recoverExit()
+}
+
+// setRunning flips a queued session to running at dispatch; a no-op once
+// terminal (a shutdown abort can beat the dispatch goroutine here).
+func (s *session) setRunning() {
+	s.mu.Lock()
+	if s.state == StateQueued {
+		s.state = StateRunning
+	}
+	s.mu.Unlock()
 }
 
 // leaveRecovering flips a recovering session to running — called on the
@@ -378,6 +408,8 @@ func (s *session) status() RunStatus {
 		Problem:  s.problem.Name,
 		State:    s.state,
 		Created:  s.created,
+		Tenant:   s.req.Tenant,
+		Priority: s.req.Priority,
 		Strategy: resolveStrategy(s.req.Strategy),
 		// Never nil: before the first event this must marshal as [], not
 		// null, for strict clients.

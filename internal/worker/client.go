@@ -162,6 +162,13 @@ type Pool struct {
 	winMu   sync.Mutex
 	windows map[string]*latencyWindow // per-problem completion latencies
 
+	// batches/batchConfigs count backend-level dispatches: how many
+	// EvaluateBatch calls reached the fleet and how many configurations
+	// they carried. Their ratio is the average dispatched batch size — the
+	// observable effect of the scheduler's cross-run batch coalescing.
+	batches      atomic.Int64
+	batchConfigs atomic.Int64
+
 	rngMu sync.Mutex
 	rng   *rand.Rand // seeded backoff-jitter draws
 
@@ -281,6 +288,14 @@ func (p *Pool) Stats() []WorkerStats {
 // Size returns the number of workers in the pool.
 func (p *Pool) Size() int { return len(p.workers) }
 
+// BatchStats reports backend-level dispatch totals: EvaluateBatch calls
+// that reached the fleet and the configurations they carried. With the
+// scheduler's cross-run coalescing active, configs/batches grows — the
+// fleet sees fewer, larger requests for the same evaluation volume.
+func (p *Pool) BatchStats() (batches, configs int64) {
+	return p.batches.Load(), p.batchConfigs.Load()
+}
+
 // remoteBackend is the per-problem core.Backend view of a Pool.
 type remoteBackend struct {
 	pool       *Pool
@@ -307,6 +322,8 @@ func (b *remoteBackend) EvaluateBatch(ctx context.Context, cfgs []param.Config) 
 		return out, err
 	}
 	p := b.pool
+	p.batches.Add(1)
+	p.batchConfigs.Add(int64(n))
 	var wg sync.WaitGroup
 	var errMu sync.Mutex
 	var firstErr error
